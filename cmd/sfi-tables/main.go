@@ -1,0 +1,144 @@
+// Command sfi-tables regenerates every table and figure of the paper's
+// evaluation: Table 1 (AVP vs SPECInt 2000), Figure 2 (sample-size
+// accuracy), Table 2 (SFI vs proton beam), Figure 3 (per-unit SER),
+// Figure 4 (per-unit contribution), Figure 5 (latch types) and Table 3
+// (checker effectiveness).
+//
+// Usage:
+//
+//	sfi-tables [-exp all|table1|fig2|table2|fig3|fig4|fig5|table3] [-scale N]
+//
+// -scale multiplies the campaign sizes (1 = the defaults documented in
+// DESIGN.md's scaling disclosures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sfi"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig2, table2, fig3, fig4, fig5, table3")
+	scale := flag.Int("scale", 1, "campaign size multiplier")
+	workers := flag.Int("workers", 0, "concurrent model copies (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if err := run(*exp, *scale, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "sfi-tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale, workers int) error {
+	if scale < 1 {
+		return fmt.Errorf("scale must be >= 1")
+	}
+	all := exp == "all"
+	ran := false
+	section := func(name string) func() {
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		return func() { fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond)) }
+	}
+
+	if all || exp == "table1" {
+		ran = true
+		done := section("Table 1: AVP vs SPECInt 2000 instruction mix and CPI")
+		t, err := sfi.BuildTable1(11)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+		done()
+	}
+	if all || exp == "fig2" {
+		ran = true
+		done := section("Figure 2: accuracy of SFI with increasing number of flips")
+		cfg := sfi.DefaultFig2Config()
+		cfg.Workers = workers
+		for i := range cfg.Sizes {
+			cfg.Sizes[i] *= scale
+		}
+		r, err := sfi.RunFig2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		done()
+	}
+	if all || exp == "table2" {
+		ran = true
+		done := section("Table 2: error state proportions, SFI vs proton beam")
+		cfg := sfi.DefaultTable2Config()
+		cfg.Workers = workers
+		cfg.Flips *= scale
+		cfg.Beam.Strikes *= scale
+		r, err := sfi.RunTable2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		done()
+	}
+	var f3 *sfi.Fig3Result
+	if all || exp == "fig3" || exp == "fig4" {
+		ran = true
+		done := section("Figure 3: SER of different micro-architecture units")
+		cfg := sfi.DefaultFig3Config()
+		cfg.Workers = workers
+		cfg.Fraction *= float64(scale)
+		if cfg.Fraction > 1 {
+			cfg.Fraction = 1
+		}
+		var err error
+		f3, err = sfi.RunFig3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f3)
+		done()
+	}
+	if all || exp == "fig4" {
+		ran = true
+		done := section("Figure 4: contribution of each unit to recoveries/hangs/checkstops")
+		fmt.Print(sfi.DeriveFig4(f3))
+		done()
+	}
+	if all || exp == "fig5" {
+		ran = true
+		done := section("Figure 5: SER of different types of latches")
+		cfg := sfi.DefaultFig5Config()
+		cfg.Workers = workers
+		cfg.Fraction *= float64(scale)
+		if cfg.Fraction > 1 {
+			cfg.Fraction = 1
+		}
+		r, err := sfi.RunFig5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		done()
+	}
+	if all || exp == "table3" {
+		ran = true
+		done := section("Table 3: effect of the hardware checkers (Raw vs Check)")
+		cfg := sfi.DefaultTable3Config()
+		cfg.Workers = workers
+		cfg.Flips *= scale
+		r, err := sfi.RunTable3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		done()
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Command sfi runs statistical fault-injection campaigns on the emulated
+// P6LITE core: random whole-core campaigns, targeted per-unit / per-type /
+// per-macro campaigns, sticky-mode injection, raw (checkers-masked) mode,
+// and cause-effect trace dumps.
+//
+// Examples:
+//
+//	sfi -flips 5000                        # whole-core random campaign
+//	sfi -flips 2000 -unit LSU              # target the load-store unit
+//	sfi -flips 1000 -type MODE             # target the MODE scan rings
+//	sfi -flips 500  -macro lsu.stq         # target a macro by name prefix
+//	sfi -flips 1000 -sticky -duration 200  # 200-cycle stuck-at faults
+//	sfi -flips 1000 -raw                   # mask every hardware checker
+//	sfi -flips 300  -trace                 # print cause-effect traces
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sfi"
+)
+
+func main() {
+	var (
+		flips    = flag.Int("flips", 1000, "number of latch bits to inject")
+		seed     = flag.Uint64("seed", 1, "sampling seed")
+		unit     = flag.String("unit", "", "target one unit (IFU, IDU, FXU, FPU, LSU, RUT, Core)")
+		typ      = flag.String("type", "", "target one latch type (FUNC, REGFILE, GPTR, MODE)")
+		macro    = flag.String("macro", "", "target latch groups by name prefix")
+		sticky   = flag.Bool("sticky", false, "sticky (stuck-at) injection instead of toggle")
+		duration = flag.Int("duration", 0, "sticky fault duration in cycles (0 = permanent)")
+		span     = flag.Int("span", 1, "adjacent bits per injection (multi-bit upsets)")
+		raw      = flag.Bool("raw", false, "mask every hardware checker (Table 3 Raw mode)")
+		noRec    = flag.Bool("no-recovery", false, "disable the recovery unit")
+		window   = flag.Int("window", 0, "observation window in cycles (0 = default)")
+		fixed    = flag.Bool("fixed-window", false, "disable quiesce early exit (paper's fixed 500k-cycle style)")
+		nest     = flag.Bool("nest", false, "enable the core periphery (L2 + memory controller)")
+		workers  = flag.Int("workers", 0, "concurrent model copies (0 = GOMAXPROCS)")
+		detail   = flag.Bool("detail", false, "print confidence intervals, latency stats and checker coverage")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		trace    = flag.Bool("trace", false, "print cause-effect traces of non-vanished injections")
+		units    = flag.Bool("units", false, "also print the per-unit breakdown")
+		types    = flag.Bool("types", false, "also print the per-latch-type breakdown")
+	)
+	flag.Parse()
+
+	if err := run(campaignArgs{
+		flips: *flips, seed: *seed, unit: *unit, typ: *typ, macro: *macro,
+		sticky: *sticky, duration: *duration, span: *span, raw: *raw, noRec: *noRec,
+		window: *window, fixed: *fixed, workers: *workers, nest: *nest,
+		detail: *detail, jsonOut: *jsonOut, trace: *trace, units: *units, types: *types,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "sfi:", err)
+		os.Exit(1)
+	}
+}
+
+type campaignArgs struct {
+	flips            int
+	seed             uint64
+	unit, typ, macro string
+	sticky           bool
+	duration         int
+	span             int
+	raw, noRec       bool
+	window           int
+	fixed            bool
+	workers          int
+	nest             bool
+	detail           bool
+	jsonOut          bool
+	trace            bool
+	units, types     bool
+}
+
+func run(a campaignArgs) error {
+	cfg := sfi.DefaultCampaignConfig()
+	cfg.Flips = a.flips
+	cfg.Seed = a.seed
+	cfg.Workers = a.workers
+	cfg.KeepResults = true
+	cfg.Runner.CheckersOn = !a.raw
+	cfg.Runner.RecoveryOn = !a.noRec
+	if a.sticky {
+		cfg.Runner.Mode = sfi.Sticky
+		cfg.Runner.StickyCycles = a.duration
+	}
+	if a.span > 1 {
+		cfg.Runner.SpanBits = a.span
+	}
+	if a.window > 0 {
+		cfg.Runner.Window = a.window
+	}
+	if a.fixed {
+		cfg.Runner.QuiesceExit = 0
+	}
+	if a.nest {
+		cfg.Runner.Proc.EnableNest = true
+	}
+
+	filters := 0
+	if a.unit != "" {
+		found := a.unit == sfi.UnitNEST && a.nest
+		for _, u := range sfi.Units {
+			if u == a.unit {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown unit %q (have %v; NEST needs -nest)", a.unit, sfi.Units)
+		}
+		cfg.Filter = sfi.ByUnit(a.unit)
+		filters++
+	}
+	if a.typ != "" {
+		var t sfi.LatchType
+		for _, lt := range sfi.LatchTypes {
+			if lt.String() == a.typ {
+				t = lt
+			}
+		}
+		if t == 0 {
+			return fmt.Errorf("unknown latch type %q", a.typ)
+		}
+		cfg.Filter = sfi.ByType(t)
+		filters++
+	}
+	if a.macro != "" {
+		cfg.Filter = sfi.ByGroupPrefix(a.macro)
+		filters++
+	}
+	if filters > 1 {
+		return fmt.Errorf("use at most one of -unit, -type, -macro")
+	}
+
+	start := time.Now()
+	rep, err := sfi.RunCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	if a.jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Printf("campaign finished in %v\n", time.Since(start).Round(time.Millisecond))
+	if a.detail {
+		fmt.Print(rep.DetailedString())
+	} else {
+		fmt.Print(rep)
+	}
+
+	if a.units {
+		fmt.Println("\nper unit:")
+		for _, u := range sfi.Units {
+			fmt.Printf("  %-5s", u)
+			for _, o := range sfi.Outcomes {
+				fmt.Printf(" %s %6.2f%%", o, 100*rep.UnitFraction(u, o))
+			}
+			fmt.Println()
+		}
+	}
+	if a.types {
+		fmt.Println("\nper latch type:")
+		for _, t := range sfi.LatchTypes {
+			fmt.Printf("  %-8v", t)
+			for _, o := range sfi.Outcomes {
+				fmt.Printf(" %s %6.2f%%", o, 100*rep.TypeFraction(t, o))
+			}
+			fmt.Println()
+		}
+	}
+	if a.trace {
+		fmt.Println("\ncause-effect traces:")
+		fmt.Print(sfi.TraceReport(rep, 50))
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// Beamcal: the paper's Table 2 validation — a whole-population SFI campaign
+// side by side with a simulated proton-beam experiment (Poisson strikes
+// over latches and ECC-protected arrays, machine-visible evidence only),
+// with a chi-square agreement test between the two outcome distributions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sfi"
+)
+
+func main() {
+	cfg := sfi.DefaultTable2Config()
+	cfg.Flips = 2500
+	cfg.Beam.Strikes = 1500
+
+	r, err := sfi.RunTable2(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Error state proportions, SFI vs proton beam (Table 2):")
+	fmt.Print(r)
+
+	if r.PValue > 0.01 {
+		fmt.Printf("\nThe distributions agree (p = %.3f): the simulation-based\n", r.PValue)
+		fmt.Println("methodology is validated against the \"real-world\" experiment,")
+		fmt.Println("which is what licenses the targeted studies a beam cannot do.")
+	} else {
+		fmt.Printf("\nThe distributions disagree (p = %.4f) — with small samples this\n", r.PValue)
+		fmt.Println("can be statistical noise; rerun with larger -flips / -strikes.")
+	}
+	fmt.Printf("\nBeam observability: %d hangs and %d AVP-detected bad-architected-state\n",
+		r.Beam.Hang, r.Beam.SDC)
+	fmt.Printf("events were seen across %d cycles of irradiation.\n", r.Beam.Cycles)
+}

@@ -1,0 +1,78 @@
+// Macroinject: gate-level macro SFI on the Awan-style netlist engine — the
+// "what-if questions concerning the resilience of specific circuits,
+// macros, or units" workflow from the paper's introduction. A
+// parity-protected register macro is compiled to a levelized boolean
+// program, every latch is flipped in turn, and the checker's coverage is
+// measured, including the double-flip blind spot of single parity.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"sfi/internal/awan"
+)
+
+func main() {
+	nl := awan.NewNetlist()
+	in := nl.InputBus("in", 32)
+	load := nl.Input("load")
+	q, par, errOut := nl.ParityRegister("reg", in, load)
+	cnt := nl.Counter("heartbeat", 8)
+	eng := awan.MustCompile(nl)
+
+	fmt.Printf("macro netlist: %d gates, %d-instruction boolean program, %d latches\n\n",
+		nl.Gates(), eng.ProgramLength(), len(q)+1+len(cnt))
+
+	rng := rand.New(rand.NewPCG(9, 9))
+	load0 := func(v uint64) {
+		eng.SetInputBus(in, v)
+		eng.SetInput(load, true)
+		eng.Step()
+		eng.SetInput(load, false)
+		eng.Step()
+	}
+
+	// Single-flip campaign over every data latch plus the parity latch.
+	detected, total := 0, 0
+	targets := append(append(awan.Bus{}, q...), par)
+	for _, l := range targets {
+		load0(rng.Uint64())
+		eng.FlipLatch(l)
+		eng.Eval()
+		total++
+		if eng.Value(errOut) {
+			detected++
+		}
+	}
+	fmt.Printf("single-bit flips:  %d/%d detected by the continuous parity checker\n",
+		detected, total)
+
+	// Double-flip campaign: the known blind spot of single parity.
+	detected2, trials := 0, 200
+	for t := 0; t < trials; t++ {
+		load0(rng.Uint64())
+		i := rng.IntN(len(q))
+		j := rng.IntN(len(q))
+		for j == i {
+			j = rng.IntN(len(q))
+		}
+		eng.FlipLatch(q[i])
+		eng.FlipLatch(q[j])
+		eng.Eval()
+		if eng.Value(errOut) {
+			detected2++
+		}
+	}
+	fmt.Printf("double-bit flips:  %d/%d detected — single parity is blind to even-weight errors,\n",
+		detected2, trials)
+	fmt.Println("                   which is why the core's arrays use SECDED instead.")
+
+	// The heartbeat counter is unprotected: flips silently change state.
+	before := eng.BusValue(cnt)
+	eng.FlipLatch(cnt[3])
+	eng.Eval()
+	fmt.Printf("\nunprotected counter: %d -> %d after one flip (no error signal) —\n",
+		before, eng.BusValue(cnt))
+	fmt.Println("exactly the class of control latches whose corruption causes hangs.")
+}

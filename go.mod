@@ -1,0 +1,3 @@
+module sfi
+
+go 1.24

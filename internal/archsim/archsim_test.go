@@ -1,0 +1,371 @@
+package archsim
+
+import (
+	"math"
+	"testing"
+
+	"sfi/internal/isa"
+	"sfi/internal/mem"
+)
+
+func run(t *testing.T, src string, maxSteps int) *Sim {
+	t.Helper()
+	m := mem.New(64 * 1024)
+	m.LoadProgram(0, isa.MustAssemble(src))
+	s := New(m)
+	for i := 0; i < maxSteps && !s.Halted; i++ {
+		s.Step()
+	}
+	if !s.Halted {
+		t.Fatalf("program did not halt in %d steps", maxSteps)
+	}
+	return s
+}
+
+func TestArithmetic(t *testing.T) {
+	s := run(t, `
+		addi r1, r0, 7
+		addi r2, r0, 5
+		add  r3, r1, r2
+		sub  r4, r1, r2
+		mul  r5, r1, r2
+		divd r6, r1, r2
+		and  r7, r1, r2
+		or   r8, r1, r2
+		xor  r9, r1, r2
+		halt
+	`, 100)
+	want := map[int]uint64{3: 12, 4: 2, 5: 35, 6: 1, 7: 5, 8: 7, 9: 2}
+	for r, v := range want {
+		if s.GPR[r] != v {
+			t.Errorf("r%d = %d, want %d", r, s.GPR[r], v)
+		}
+	}
+}
+
+func TestNegativeImmediatesAndShifted(t *testing.T) {
+	s := run(t, `
+		addi  r1, r0, -1
+		addis r2, r0, 1       ; 65536
+		addi  r3, r0, 3
+		addi  r4, r0, 2
+		sld   r5, r3, r4      ; 12
+		srd   r6, r2, r4      ; 16384
+		halt
+	`, 100)
+	if s.GPR[1] != 0xffffffffffffffff {
+		t.Errorf("r1 = %#x, want all ones", s.GPR[1])
+	}
+	if s.GPR[2] != 65536 {
+		t.Errorf("r2 = %d, want 65536", s.GPR[2])
+	}
+	if s.GPR[5] != 12 || s.GPR[6] != 16384 {
+		t.Errorf("shifts: r5=%d r6=%d", s.GPR[5], s.GPR[6])
+	}
+}
+
+func TestLogicalImmediatesZeroExtend(t *testing.T) {
+	s := run(t, `
+		addi r1, r0, -1
+		andi r2, r1, 0xffff
+		ori  r3, r0, 0x8000
+		xori r4, r1, 0xffff
+		halt
+	`, 100)
+	if s.GPR[2] != 0xffff {
+		t.Errorf("andi: r2 = %#x", s.GPR[2])
+	}
+	if s.GPR[3] != 0x8000 {
+		t.Errorf("ori: r3 = %#x (must zero-extend)", s.GPR[3])
+	}
+	if s.GPR[4] != 0xffffffffffff0000 {
+		t.Errorf("xori: r4 = %#x", s.GPR[4])
+	}
+}
+
+func TestDivideEdgeCases(t *testing.T) {
+	s := run(t, `
+		addi r1, r0, 10
+		addi r2, r0, 0
+		divd r3, r1, r2     ; div by zero -> 0
+		addi r4, r0, -1
+		addi r5, r0, 1
+		sld  r6, r5, r0     ; r6 = 1... build MinInt64
+		addi r7, r0, 63
+		sld  r8, r5, r7     ; r8 = 1<<63 = MinInt64
+		divd r9, r8, r4     ; overflow case -> 0
+		halt
+	`, 100)
+	if s.GPR[3] != 0 {
+		t.Errorf("div by zero: r3 = %d, want 0", s.GPR[3])
+	}
+	if s.GPR[8] != 1<<63 {
+		t.Errorf("r8 = %#x, want 1<<63", s.GPR[8])
+	}
+	if s.GPR[9] != 0 {
+		t.Errorf("overflow divide: r9 = %d, want 0", s.GPR[9])
+	}
+}
+
+func TestLoadsAndStores(t *testing.T) {
+	s := run(t, `
+		addi r1, r0, 0x1000
+		addi r2, r0, 1234
+		std  r2, 0(r1)
+		ld   r3, 0(r1)
+		stw  r2, 8(r1)
+		lw   r4, 8(r1)
+		addi r5, r0, -1
+		stw  r5, 16(r1)
+		lw   r6, 16(r1)    ; must zero-extend
+		halt
+	`, 100)
+	if s.GPR[3] != 1234 || s.GPR[4] != 1234 {
+		t.Errorf("r3=%d r4=%d, want 1234", s.GPR[3], s.GPR[4])
+	}
+	if s.GPR[6] != 0xffffffff {
+		t.Errorf("lw zero-extension: r6 = %#x", s.GPR[6])
+	}
+	if got := s.Mem.Read64(0x1000); got != 1234 {
+		t.Errorf("mem[0x1000] = %d", got)
+	}
+}
+
+func TestCompareAndBranch(t *testing.T) {
+	s := run(t, `
+		addi r1, r0, 5
+		addi r2, r0, 9
+		cmp  r1, r2
+		bc   1, 0, less      ; branch if LT set
+		addi r10, r0, 111    ; must be skipped
+	less:
+		addi r11, r0, 222
+		cmpi r1, 5
+		bc   1, 2, eq        ; branch if EQ set
+		addi r12, r0, 333    ; skipped
+	eq:
+		cmpl r2, r1
+		bc   0, 0, done      ; branch if LT clear (9 !< 5 unsigned)
+		addi r13, r0, 444    ; skipped
+	done:
+		halt
+	`, 100)
+	if s.GPR[10] != 0 || s.GPR[12] != 0 || s.GPR[13] != 0 {
+		t.Errorf("branch fallthrough executed: r10=%d r12=%d r13=%d",
+			s.GPR[10], s.GPR[12], s.GPR[13])
+	}
+	if s.GPR[11] != 222 {
+		t.Errorf("r11 = %d, want 222", s.GPR[11])
+	}
+}
+
+func TestLoopWithBDNZ(t *testing.T) {
+	s := run(t, `
+		addi  r1, r0, 10
+		mtctr r1
+		addi  r2, r0, 0
+	loop:
+		addi  r2, r2, 3
+		bdnz  loop
+		mfctr r3
+		halt
+	`, 200)
+	if s.GPR[2] != 30 {
+		t.Errorf("r2 = %d, want 30 (10 iterations)", s.GPR[2])
+	}
+	if s.GPR[3] != 0 {
+		t.Errorf("ctr = %d, want 0", s.GPR[3])
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	s := run(t, `
+		addi r1, r0, 1
+		bl   sub
+		addi r3, r0, 100   ; executed after return
+		halt
+	sub:
+		addi r2, r0, 50
+		blr
+	`, 100)
+	if s.GPR[2] != 50 || s.GPR[3] != 100 {
+		t.Errorf("r2=%d r3=%d, want 50,100", s.GPR[2], s.GPR[3])
+	}
+}
+
+func TestMTLRAndBLR(t *testing.T) {
+	s := run(t, `
+		addi r1, r0, 20    ; address of target (word 5 * 4)
+		mtlr r1
+		blr
+		halt               ; skipped
+		halt               ; skipped
+		addi r2, r0, 7     ; word 5: landed here
+		halt
+	`, 100)
+	if s.GPR[2] != 7 {
+		t.Errorf("r2 = %d, want 7 (blr to mtlr target)", s.GPR[2])
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := mem.New(64 * 1024)
+	m.Write64(0x2000, math.Float64bits(1.5))
+	m.Write64(0x2008, math.Float64bits(2.5))
+	m.LoadProgram(0, isa.MustAssemble(`
+		addi r1, r0, 0x2000
+		lfd  f1, 0(r1)
+		lfd  f2, 8(r1)
+		fadd f3, f1, f2
+		fsub f4, f2, f1
+		fmul f5, f1, f2
+		fdiv f6, f2, f1
+		fmr  f7, f3
+		stfd f3, 16(r1)
+		fcmp f1, f2
+		halt
+	`))
+	s := New(m)
+	for !s.Halted {
+		s.Step()
+	}
+	checks := map[int]float64{3: 4.0, 4: 1.0, 5: 3.75, 7: 4.0}
+	for r, want := range checks {
+		if got := math.Float64frombits(s.FPR[r]); got != want {
+			t.Errorf("f%d = %g, want %g", r, got, want)
+		}
+	}
+	if got := math.Float64frombits(s.FPR[6]); math.Abs(got-5.0/3.0) > 1e-15 {
+		t.Errorf("f6 = %g, want 5/3", got)
+	}
+	if got := m.Read64(0x2010); got != math.Float64bits(4.0) {
+		t.Errorf("stfd result = %#x", got)
+	}
+	if s.CR0 != 1<<isa.CRLT {
+		t.Errorf("fcmp CR0 = %#x, want LT", s.CR0)
+	}
+}
+
+func TestFCMPUnordered(t *testing.T) {
+	m := mem.New(4096)
+	m.Write64(0x100, math.Float64bits(math.NaN()))
+	m.LoadProgram(0, isa.MustAssemble(`
+		addi r1, r0, 0x100
+		lfd  f1, 0(r1)
+		fcmp f1, f1
+		halt
+	`))
+	s := New(m)
+	for !s.Halted {
+		s.Step()
+	}
+	if s.CR0 != 1<<isa.CRSO {
+		t.Errorf("NaN fcmp CR0 = %#x, want SO", s.CR0)
+	}
+}
+
+func TestTestEndEventAndSignature(t *testing.T) {
+	m := mem.New(4096)
+	m.LoadProgram(0, isa.MustAssemble(`
+		addi r3, r0, 42
+		testend
+		halt
+	`))
+	s := New(m)
+	s.Step()
+	r := s.Step()
+	if r.Event != EventTestEnd {
+		t.Fatalf("event = %v, want testend", r.Event)
+	}
+	if r.Signature == 0 {
+		t.Error("signature is zero")
+	}
+	if r.Signature != s.State.Signature() {
+		t.Error("reported signature differs from state signature")
+	}
+}
+
+func TestSignatureSensitivity(t *testing.T) {
+	var a, b State
+	if a.Signature() != b.Signature() {
+		t.Fatal("identical states disagree")
+	}
+	b.GPR[17] = 1
+	if a.Signature() == b.Signature() {
+		t.Error("GPR change not reflected in signature")
+	}
+	b = a
+	b.CR0 = 4
+	if a.Signature() == b.Signature() {
+		t.Error("CR0 change not reflected in signature")
+	}
+	b = a
+	b.FPR[3] = 1
+	if a.Signature() == b.Signature() {
+		t.Error("FPR change not reflected in signature")
+	}
+}
+
+func TestIllegalOpcodeIsEvent(t *testing.T) {
+	m := mem.New(4096)
+	m.Write32(0, 0) // all-zero word: illegal
+	s := New(m)
+	r := s.Step()
+	if r.Event != EventIllegal {
+		t.Errorf("event = %v, want illegal", r.Event)
+	}
+	if s.PC != 4 {
+		t.Errorf("PC = %d, want 4 (illegal advances)", s.PC)
+	}
+}
+
+func TestHaltStopsMachine(t *testing.T) {
+	m := mem.New(4096)
+	m.LoadProgram(0, isa.MustAssemble("halt"))
+	s := New(m)
+	if r := s.Step(); r.Event != EventHalt {
+		t.Fatalf("event = %v, want halt", r.Event)
+	}
+	pc := s.PC
+	if r := s.Step(); r.Event != EventHalt {
+		t.Error("step on halted machine not reported as halt")
+	}
+	if s.PC != pc {
+		t.Error("halted machine advanced PC")
+	}
+}
+
+func TestRunUntilEvent(t *testing.T) {
+	m := mem.New(4096)
+	m.LoadProgram(0, isa.MustAssemble(`
+		addi r1, r0, 1
+		addi r2, r0, 2
+		testend
+		halt
+	`))
+	s := New(m)
+	r := s.Run(100)
+	if r.Event != EventTestEnd {
+		t.Fatalf("Run stopped at %v, want testend", r.Event)
+	}
+	if s.InstCount != 3 {
+		t.Errorf("InstCount = %d, want 3", s.InstCount)
+	}
+	r = s.Run(100)
+	if r.Event != EventHalt {
+		t.Errorf("second Run stopped at %v, want halt", r.Event)
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	m := mem.New(4096)
+	m.LoadProgram(0, isa.MustAssemble("x: b x"))
+	s := New(m)
+	r := s.Run(50)
+	if r.Event != EventNone {
+		t.Errorf("event = %v, want none on budget exhaustion", r.Event)
+	}
+	if s.InstCount != 50 {
+		t.Errorf("InstCount = %d, want 50", s.InstCount)
+	}
+}

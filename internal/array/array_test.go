@@ -1,0 +1,139 @@
+package array
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sfi/internal/bits"
+)
+
+func TestWriteReadClean(t *testing.T) {
+	p := New("test", 16)
+	p.Write(3, 0xdeadbeef)
+	v, res := p.Read(3)
+	if v != 0xdeadbeef || res != bits.ECCClean {
+		t.Errorf("Read = %#x,%v", v, res)
+	}
+	if p.Corrected != 0 || p.Uncorrectable != 0 {
+		t.Error("counters moved on clean read")
+	}
+}
+
+func TestSingleBitFlipCorrected(t *testing.T) {
+	p := New("test", 8)
+	p.Write(0, 0x1234567890abcdef)
+	p.FlipBit(0, 17)
+	v, res := p.Read(0)
+	if res != bits.ECCCorrected || v != 0x1234567890abcdef {
+		t.Fatalf("Read = %#x,%v, want corrected original", v, res)
+	}
+	if p.Corrected != 1 {
+		t.Errorf("Corrected = %d", p.Corrected)
+	}
+	// Read-repair: second read is clean.
+	_, res = p.Read(0)
+	if res != bits.ECCClean {
+		t.Errorf("after repair: %v, want clean", res)
+	}
+}
+
+func TestCheckBitFlipCorrected(t *testing.T) {
+	p := New("test", 8)
+	p.Write(1, 42)
+	p.FlipBit(1, 64+3)
+	v, res := p.Read(1)
+	if res != bits.ECCCorrected || v != 42 {
+		t.Errorf("Read = %d,%v", v, res)
+	}
+}
+
+func TestDoubleBitFlipUncorrectable(t *testing.T) {
+	p := New("test", 8)
+	p.Write(2, 0xffff)
+	p.FlipBit(2, 5)
+	p.FlipBit(2, 40)
+	_, res := p.Read(2)
+	if res != bits.ECCUncorrectable {
+		t.Fatalf("result %v, want uncorrectable", res)
+	}
+	if p.Uncorrectable != 1 {
+		t.Errorf("Uncorrectable = %d", p.Uncorrectable)
+	}
+}
+
+func TestScrubStep(t *testing.T) {
+	p := New("test", 4)
+	p.Write(0, 7)
+	p.FlipBit(0, 0)
+	if res := p.ScrubStep(0); res != bits.ECCCorrected {
+		t.Errorf("scrub = %v", res)
+	}
+	if res := p.ScrubStep(0); res != bits.ECCClean {
+		t.Errorf("post-scrub = %v", res)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	p := New("test", 4)
+	p.Write(0, 1)
+	p.Write(1, 2)
+	snap := p.Snapshot()
+	p.Write(0, 99)
+	p.FlipBit(1, 3)
+	p.Restore(snap)
+	if v, res := p.Read(0); v != 1 || res != bits.ECCClean {
+		t.Errorf("entry 0 = %d,%v", v, res)
+	}
+	if v, res := p.Read(1); v != 2 || res != bits.ECCClean {
+		t.Errorf("entry 1 = %d,%v", v, res)
+	}
+}
+
+func TestTotalBits(t *testing.T) {
+	p := New("test", 10)
+	if p.TotalBits() != 720 {
+		t.Errorf("TotalBits = %d, want 720", p.TotalBits())
+	}
+}
+
+func TestFlipBitRangePanics(t *testing.T) {
+	p := New("test", 2)
+	for _, b := range []int{-1, 72, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for bit %d", b)
+				}
+			}()
+			p.FlipBit(0, b)
+		}()
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	p := New("test", 2)
+	p.Write(0, 1)
+	p.FlipBit(0, 1)
+	p.Read(0)
+	p.ResetCounters()
+	if p.Corrected != 0 || p.Uncorrectable != 0 {
+		t.Error("counters not reset")
+	}
+}
+
+// Property: any single flip anywhere is corrected and data survives.
+func TestQuickAnySingleFlipCorrected(t *testing.T) {
+	p := New("q", 32)
+	rng := rand.New(rand.NewPCG(42, 43))
+	for trial := 0; trial < 2000; trial++ {
+		e := rng.IntN(32)
+		d := rng.Uint64()
+		b := rng.IntN(72)
+		p.Write(e, d)
+		p.FlipBit(e, b)
+		v, res := p.Read(e)
+		if res != bits.ECCCorrected || v != d {
+			t.Fatalf("entry %d bit %d: %#x,%v want corrected %#x", e, b, v, res, d)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package avp
+
+import (
+	"testing"
+
+	"sfi/internal/isa"
+	"sfi/internal/proc"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	p := MustGenerate(DefaultConfig())
+	if len(p.Words) == 0 {
+		t.Fatal("empty program")
+	}
+	if len(p.Testcases) != DefaultConfig().Testcases {
+		t.Fatalf("recorded %d testcases, want %d", len(p.Testcases), DefaultConfig().Testcases)
+	}
+	if p.DynTotal == 0 || p.GoldenInstPerPass == 0 {
+		t.Fatal("no dynamic statistics recorded")
+	}
+	for i, tc := range p.Testcases {
+		if tc.SigMasked == 0 {
+			t.Errorf("testcase %d has zero signature", i)
+		}
+		if tc.GPRMask == 0 {
+			t.Errorf("testcase %d covers no GPRs", i)
+		}
+	}
+	// Masks are cumulative within the pass.
+	for i := 1; i < len(p.Testcases); i++ {
+		if p.Testcases[i].GPRMask&p.Testcases[i-1].GPRMask != p.Testcases[i-1].GPRMask {
+			t.Errorf("testcase %d GPR mask not cumulative", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(DefaultConfig())
+	b := MustGenerate(DefaultConfig())
+	if len(a.Words) != len(b.Words) {
+		t.Fatal("nondeterministic program length")
+	}
+	for i := range a.Words {
+		if a.Words[i] != b.Words[i] {
+			t.Fatalf("word %d differs between identical-seed generations", i)
+		}
+	}
+	for i := range a.Testcases {
+		if a.Testcases[i] != b.Testcases[i] {
+			t.Fatalf("testcase %d expectations differ", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := DefaultConfig()
+	a := MustGenerate(cfg)
+	cfg.Seed = 999
+	b := MustGenerate(cfg)
+	same := len(a.Words) == len(b.Words)
+	if same {
+		for i := range a.Words {
+			if a.Words[i] != b.Words[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestGenerateBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Testcases = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("no error for zero testcases")
+	}
+	cfg = DefaultConfig()
+	cfg.Testcases = 1000
+	if _, err := Generate(cfg); err == nil {
+		t.Error("no error for oversized data area")
+	}
+}
+
+func TestDynMixIsReasonable(t *testing.T) {
+	p := MustGenerate(DefaultConfig())
+	sum := 0.0
+	for _, c := range isa.Classes {
+		m := p.DynMix(c)
+		if m < 0 || m > 1 {
+			t.Errorf("mix of %v = %f out of range", c, m)
+		}
+		sum += m
+	}
+	if sum < 0.7 || sum > 1.0 {
+		t.Errorf("six-class mix sums to %f, want most of the stream", sum)
+	}
+	if p.DynMix(isa.ClassLoad) < 0.10 {
+		t.Errorf("load mix %f too low", p.DynMix(isa.ClassLoad))
+	}
+	if p.DynMix(isa.ClassFloat) != 0 {
+		t.Errorf("AVP default mix must have no floating point, got %f",
+			p.DynMix(isa.ClassFloat))
+	}
+}
+
+// TestAVPRunsCleanOnCore is the end-to-end check: the AVP must run on the
+// latch-accurate core with every testend signature and memory digest
+// matching the golden expectations, indefinitely, with no checker fires.
+func TestAVPRunsCleanOnCore(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Testcases = 6
+	cfg.BodyOps = 16
+	p := MustGenerate(cfg)
+
+	core := proc.New(proc.DefaultConfig())
+	core.Mem().LoadProgram(0, p.Words)
+
+	ends := 0
+	warmEnds := warmPasses * cfg.Testcases
+	checked := 0
+	for i := 0; i < 2_000_000 && checked < 2*cfg.Testcases; i++ {
+		ev := core.Step()
+		if core.Checkstopped() {
+			t.Fatal("core checkstopped running the AVP")
+		}
+		if !ev.TestEnd {
+			continue
+		}
+		ends++
+		if ends <= warmEnds {
+			continue
+		}
+		tc := p.Testcases[(ends-1)%cfg.Testcases]
+		st := core.ArchState()
+		if got := st.MaskedSignature(tc.GPRMask, tc.FPRMask, tc.SPRMask); got != tc.SigMasked {
+			t.Fatalf("testend %d: signature %#x, golden %#x", ends, got, tc.SigMasked)
+		}
+		if got := core.Mem().DigestRange(p.DataLo, p.DataHi); got != tc.MemDigest {
+			t.Fatalf("testend %d: memory digest mismatch", ends)
+		}
+		checked++
+	}
+	if checked < 2*cfg.Testcases {
+		t.Fatalf("only %d testends checked", checked)
+	}
+	if core.Recoveries != 0 || core.AnyFIR() {
+		t.Error("AVP run had machine-visible error activity")
+	}
+}
+
+func TestFloatMixGeneratesFP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Weights.Float = 0.2
+	p := MustGenerate(cfg)
+	if p.DynMix(isa.ClassFloat) == 0 {
+		t.Error("float weight produced no FP instructions")
+	}
+}

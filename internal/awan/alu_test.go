@@ -1,0 +1,206 @@
+package awan
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func buildALU(t *testing.T, width int) (*Engine, *CheckedALU) {
+	t.Helper()
+	nl := NewNetlist()
+	alu := nl.BuildCheckedALU("alu", width)
+	return MustCompile(nl), alu
+}
+
+// loadOp latches operands and lets the result settle (two cycles: operand
+// capture, then result capture).
+func loadOp(e *Engine, alu *CheckedALU, a, b uint64) {
+	e.SetInputBus(alu.InA, a)
+	e.SetInputBus(alu.InB, b)
+	e.SetInput(alu.Load, true)
+	e.Step() // operands captured
+	e.SetInput(alu.Load, false)
+	e.Step() // result + predicted residue captured
+}
+
+func TestCheckedALUComputesSum(t *testing.T) {
+	e, alu := buildALU(t, 16)
+	f := func(x, y uint16) bool {
+		loadOp(e, alu, uint64(x), uint64(y))
+		if e.BusValue(alu.Result) != uint64(x+y) {
+			return false
+		}
+		e.Eval()
+		return !e.Value(alu.ErrOut) // clean datapath: no error
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckedALUOddWidthCarryCorrection(t *testing.T) {
+	// Odd widths exercise the 2^w ≡ 2 (mod 3) carry correction.
+	e, alu := buildALU(t, 13)
+	rng := rand.New(rand.NewPCG(4, 5))
+	for trial := 0; trial < 500; trial++ {
+		a := rng.Uint64() & 0x1fff
+		b := rng.Uint64() & 0x1fff
+		loadOp(e, alu, a, b)
+		if got := e.BusValue(alu.Result); got != (a+b)&0x1fff {
+			t.Fatalf("sum(%d,%d) = %d", a, b, got)
+		}
+		e.Eval()
+		if e.Value(alu.ErrOut) {
+			t.Fatalf("false residue error for %d+%d", a, b)
+		}
+	}
+}
+
+func TestCheckedALUResidueDetectsResultFlips(t *testing.T) {
+	e, alu := buildALU(t, 16)
+	rng := rand.New(rand.NewPCG(6, 7))
+	for trial := 0; trial < 300; trial++ {
+		loadOp(e, alu, rng.Uint64()&0xffff, rng.Uint64()&0xffff)
+		bit := rng.IntN(len(alu.Result))
+		e.FlipLatch(alu.Result[bit])
+		e.Eval()
+		if !e.Value(alu.ErrOut) {
+			t.Fatalf("trial %d: result flip at bit %d undetected", trial, bit)
+		}
+	}
+}
+
+func TestCheckedALUResidueDetectsPredictorFlips(t *testing.T) {
+	// Flips in the checker-support latches themselves are detected —
+	// benign corruption that the checker reports anyway, the Table 3
+	// "conservative checking" mechanism at gate level.
+	e, alu := buildALU(t, 16)
+	loadOp(e, alu, 1234, 4321)
+	e.FlipLatch(alu.ResPred[0])
+	e.Eval()
+	if !e.Value(alu.ErrOut) {
+		t.Error("predicted-residue flip undetected")
+	}
+}
+
+func TestCheckedALUTripleFlipMayEscape(t *testing.T) {
+	// Mod-3 residue has blind spots: flipping bits contributing +1, +1,
+	// +1 (three even positions) changes the residue by 0 and escapes.
+	e, alu := buildALU(t, 16)
+	loadOp(e, alu, 0, 0) // result = 0
+	e.FlipLatch(alu.Result[0])
+	e.FlipLatch(alu.Result[2])
+	e.FlipLatch(alu.Result[4])
+	e.Eval()
+	if e.Value(alu.ErrOut) {
+		t.Error("residue-preserving triple flip was detected (mod-3 blind spot expected)")
+	}
+	// And the result really is corrupt: gate-level silent corruption.
+	if e.BusValue(alu.Result) != 0b10101 {
+		t.Errorf("result = %#b", e.BusValue(alu.Result))
+	}
+}
+
+func TestMacroCampaignOnCheckedALU(t *testing.T) {
+	nl := NewNetlist()
+	alu := nl.BuildCheckedALU("alu", 12)
+	e := MustCompile(nl)
+
+	var wantSum uint64
+	cfg := MacroCampaignConfig{
+		Stimulus: func(e *Engine, rng *rand.Rand) {
+			a := rng.Uint64() & 0xfff
+			b := rng.Uint64() & 0xfff
+			wantSum = (a + b) & 0xfff
+			loadOpRaw(e, alu, a, b)
+		},
+		Observe: func(e *Engine, rng *rand.Rand) bool {
+			e.Eval()
+			return e.BusValue(alu.Result) == wantSum
+		},
+		ErrOut:         alu.ErrOut,
+		TrialsPerLatch: 3,
+		Seed:           11,
+	}
+	rep, err := RunMacroCampaign(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 3*(12*3+2) { // a, b, res buses + 2 residue latches
+		t.Fatalf("trials = %d", rep.Trials)
+	}
+	// Result-register flips must be detected, never silent.
+	for name, out := range rep.ByLatch {
+		if len(name) >= 7 && name[:7] == "alu.res" && name[4] == 'r' {
+			if out == MacroSilent {
+				t.Errorf("latch %s: silent corruption escaped the residue checker", name)
+			}
+		}
+	}
+	if rep.Coverage < 0.5 {
+		t.Errorf("checker coverage %.2f implausibly low", rep.Coverage)
+	}
+	if rep.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+// loadOpRaw is loadOp without *testing.T plumbing, for campaign callbacks.
+func loadOpRaw(e *Engine, alu *CheckedALU, a, b uint64) {
+	e.SetInputBus(alu.InA, a)
+	e.SetInputBus(alu.InB, b)
+	e.SetInput(alu.Load, true)
+	e.Step()
+	e.SetInput(alu.Load, false)
+	e.Step()
+}
+
+func TestMacroCampaignNeedsCallbacks(t *testing.T) {
+	nl := NewNetlist()
+	nl.Counter("c", 4)
+	e := MustCompile(nl)
+	if _, err := RunMacroCampaign(e, MacroCampaignConfig{}); err == nil {
+		t.Error("no error for missing callbacks")
+	}
+}
+
+// TestMacroCampaignUnprotectedCounter: flips in an unchecked macro are
+// never detected; whether they are masked or silent depends on the
+// correctness predicate.
+func TestMacroCampaignUnprotectedCounter(t *testing.T) {
+	nl := NewNetlist()
+	q := nl.Counter("cnt", 6)
+	err := nl.Const(false) // no checker at all
+	e := MustCompile(nl)
+
+	var expected uint64
+	cfg := MacroCampaignConfig{
+		Stimulus: func(e *Engine, rng *rand.Rand) {
+			// Run the counter to a random phase.
+			n := rng.IntN(20)
+			for i := 0; i < n; i++ {
+				e.Step()
+			}
+			expected = (e.BusValue(q) + 3) & 63
+		},
+		Observe: func(e *Engine, rng *rand.Rand) bool {
+			e.Step()
+			e.Step()
+			e.Step()
+			return e.BusValue(q) == expected
+		},
+		ErrOut: err,
+		Seed:   13,
+	}
+	rep, err2 := RunMacroCampaign(e, cfg)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if rep.Counts[MacroDetected] != 0 {
+		t.Error("unprotected counter produced detections")
+	}
+	if rep.Counts[MacroSilent] == 0 {
+		t.Error("no silent corruption in an unprotected counter")
+	}
+}

@@ -1,0 +1,126 @@
+package awan
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Macro-level SFI: the gate-level counterpart of the core campaign. Every
+// latch of a compiled design is flipped under stimulus supplied by the
+// caller, and the destiny of each flip is classified by the design's own
+// error output plus a caller-provided correctness predicate.
+
+// MacroOutcome classifies one gate-level flip.
+type MacroOutcome int
+
+// Macro outcomes.
+const (
+	// MacroMasked: the flip had no effect on the checked outputs and was
+	// never detected.
+	MacroMasked MacroOutcome = iota + 1
+	// MacroDetected: the design's error output went high.
+	MacroDetected
+	// MacroSilent: the checked outputs were wrong with no detection —
+	// gate-level silent data corruption.
+	MacroSilent
+)
+
+func (o MacroOutcome) String() string {
+	switch o {
+	case MacroMasked:
+		return "masked"
+	case MacroDetected:
+		return "detected"
+	case MacroSilent:
+		return "silent"
+	default:
+		return fmt.Sprintf("MacroOutcome(%d)", int(o))
+	}
+}
+
+// MacroCampaignConfig drives a gate-level injection sweep.
+type MacroCampaignConfig struct {
+	// Stimulus drives the design's inputs for one trial and advances it
+	// to the state in which the fault will be injected.
+	Stimulus func(e *Engine, rng *rand.Rand)
+	// Observe clocks the design after injection and reports whether the
+	// checked outputs are correct; the campaign separately samples the
+	// error output on every cycle of the observation.
+	Observe func(e *Engine, rng *rand.Rand) bool
+	// ErrOut is the design's error-detection output node.
+	ErrOut int
+	// Cycles is the number of Step calls Observe is expected to make
+	// (documentation; Observe owns the clocking).
+	Cycles int
+	// TrialsPerLatch repeats each latch's injection under fresh stimulus.
+	TrialsPerLatch int
+	Seed           uint64
+}
+
+// MacroReport aggregates a macro campaign.
+type MacroReport struct {
+	Trials   int
+	ByLatch  map[string]MacroOutcome // worst outcome per latch name
+	Counts   map[MacroOutcome]int
+	Coverage float64 // detected / (detected + silent)
+}
+
+// RunMacroCampaign flips every latch of the engine's design (optionally
+// several times) and classifies each flip.
+func RunMacroCampaign(e *Engine, cfg MacroCampaignConfig) (*MacroReport, error) {
+	if cfg.Stimulus == nil || cfg.Observe == nil {
+		return nil, fmt.Errorf("awan: campaign needs Stimulus and Observe")
+	}
+	trials := cfg.TrialsPerLatch
+	if trials < 1 {
+		trials = 1
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xaa7a))
+	rep := &MacroReport{
+		ByLatch: make(map[string]MacroOutcome),
+		Counts:  make(map[MacroOutcome]int),
+	}
+	for _, l := range e.nl.Latches() {
+		name := e.nl.nodes[l].name
+		worst := MacroMasked
+		for t := 0; t < trials; t++ {
+			cfg.Stimulus(e, rng)
+			e.FlipLatch(l)
+			e.Eval()
+			detected := e.Value(cfg.ErrOut)
+			ok := cfg.Observe(e, rng)
+			if e.Value(cfg.ErrOut) {
+				detected = true
+			}
+			var out MacroOutcome
+			switch {
+			case detected:
+				out = MacroDetected
+			case ok:
+				out = MacroMasked
+			default:
+				out = MacroSilent
+			}
+			rep.Counts[out]++
+			rep.Trials++
+			if out > worst {
+				worst = out
+			}
+		}
+		rep.ByLatch[name] = worst
+	}
+	det, sil := rep.Counts[MacroDetected], rep.Counts[MacroSilent]
+	if det+sil > 0 {
+		rep.Coverage = float64(det) / float64(det+sil)
+	} else {
+		rep.Coverage = 1
+	}
+	return rep, nil
+}
+
+// String renders the macro report.
+func (r *MacroReport) String() string {
+	return fmt.Sprintf("trials %d: masked %d, detected %d, silent %d (checker coverage %.1f%%)",
+		r.Trials, r.Counts[MacroMasked], r.Counts[MacroDetected],
+		r.Counts[MacroSilent], 100*r.Coverage)
+}

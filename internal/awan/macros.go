@@ -1,0 +1,131 @@
+package awan
+
+import "fmt"
+
+// Bus is a multi-bit signal: node ids, LSB first.
+type Bus []int
+
+// InputBus adds width named inputs ("name[i]").
+func (n *Netlist) InputBus(name string, width int) Bus {
+	b := make(Bus, width)
+	for i := range b {
+		b[i] = n.Input(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return b
+}
+
+// LatchBus adds width named latches.
+func (n *Netlist) LatchBus(name string, width int) Bus {
+	b := make(Bus, width)
+	for i := range b {
+		b[i] = n.Latch(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return b
+}
+
+// ConnectBus wires each latch in q to the corresponding driver in d.
+func (n *Netlist) ConnectBus(q, d Bus) {
+	if len(q) != len(d) {
+		panic(fmt.Sprintf("awan: bus width mismatch %d != %d", len(q), len(d)))
+	}
+	for i := range q {
+		n.SetD(q[i], d[i])
+	}
+}
+
+// Adder builds a ripple-carry adder over two equal-width buses, returning
+// the sum bus and the carry-out node.
+func (n *Netlist) Adder(a, b Bus, cin int) (sum Bus, cout int) {
+	if len(a) != len(b) {
+		panic("awan: adder width mismatch")
+	}
+	sum = make(Bus, len(a))
+	c := cin
+	for i := range a {
+		axb := n.Xor(a[i], b[i])
+		sum[i] = n.Xor(axb, c)
+		c = n.Or(n.And(a[i], b[i]), n.And(axb, c))
+	}
+	return sum, c
+}
+
+// ParityTree XOR-reduces a bus to one node.
+func (n *Netlist) ParityTree(b Bus) int {
+	if len(b) == 0 {
+		return n.Const(false)
+	}
+	nodes := append(Bus(nil), b...)
+	for len(nodes) > 1 {
+		var next Bus
+		for i := 0; i+1 < len(nodes); i += 2 {
+			next = append(next, n.Xor(nodes[i], nodes[i+1]))
+		}
+		if len(nodes)%2 == 1 {
+			next = append(next, nodes[len(nodes)-1])
+		}
+		nodes = next
+	}
+	return nodes[0]
+}
+
+// Counter builds a width-bit free-running binary counter macro and returns
+// its state bus.
+func (n *Netlist) Counter(name string, width int) Bus {
+	q := n.LatchBus(name, width)
+	one := n.Const(true)
+	zero := n.Const(false)
+	inc, _ := n.Adder(q, n.constBus(width, 1, one, zero), zero)
+	n.ConnectBus(q, inc)
+	return q
+}
+
+func (n *Netlist) constBus(width int, v uint64, one, zero int) Bus {
+	b := make(Bus, width)
+	for i := range b {
+		if v&(1<<uint(i)) != 0 {
+			b[i] = one
+		} else {
+			b[i] = zero
+		}
+	}
+	return b
+}
+
+// ParityRegister builds the canonical checked-macro: a width-bit register
+// loaded from in when load is high, holding otherwise, with a stored parity
+// latch maintained at the write port and a continuous parity checker whose
+// error output goes high whenever the register contents disagree with the
+// stored parity — the gate-level version of the core model's checkers.
+// It returns the register bus, the parity latch and the error node.
+func (n *Netlist) ParityRegister(name string, in Bus, load int) (q Bus, par int, errOut int) {
+	q = n.LatchBus(name, len(in))
+	for i := range q {
+		n.SetD(q[i], n.Mux(q[i], in[i], load))
+	}
+	// The stored parity follows the write port: on load it captures the
+	// parity of the new data, otherwise it holds.
+	par = n.Latch(name + ".par")
+	inPar := n.ParityTree(in)
+	n.SetD(par, n.Mux(par, inPar, load))
+	qPar := n.ParityTree(q)
+	errOut = n.Xor(qPar, par)
+	return q, par, errOut
+}
+
+// BusValue reads a bus as an integer.
+func (e *Engine) BusValue(b Bus) uint64 {
+	var v uint64
+	for i, id := range b {
+		if e.vals[id] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// SetInputBus drives a bus of inputs from an integer.
+func (e *Engine) SetInputBus(b Bus, v uint64) {
+	for i, id := range b {
+		e.SetInput(id, v&(1<<uint(i)) != 0)
+	}
+}

@@ -1,0 +1,130 @@
+package bits
+
+import "fmt"
+
+// SECDED implements a (72,64) Hamming single-error-correct /
+// double-error-detect code, the protection scheme used by the model's SRAM
+// arrays (caches and the RUT architected-state checkpoint).
+//
+// Check bit i (i in 0..6) covers every data bit whose 7-bit position code has
+// bit i set; an eighth overall-parity bit provides double-error detection.
+
+// ECCWord is a 64-bit data word together with its 8 SECDED check bits, as it
+// would be stored in an array cell.
+type ECCWord struct {
+	Data  uint64
+	Check uint8
+}
+
+// eccPositions[i] is the 7-bit nonzero position code assigned to data bit i.
+// Position codes that are powers of two are reserved for the check bits
+// themselves, so data bits use the remaining codes in increasing order.
+var eccPositions = func() [64]uint8 {
+	var pos [64]uint8
+	code := uint8(1)
+	for i := 0; i < 64; i++ {
+		code++
+		for code&(code-1) == 0 { // skip powers of two (check-bit slots)
+			code++
+		}
+		pos[i] = code
+	}
+	return pos
+}()
+
+// EncodeSECDED computes the SECDED check bits for a 64-bit data word.
+func EncodeSECDED(data uint64) ECCWord {
+	var syndrome uint8
+	for i := 0; i < 64; i++ {
+		if data&(1<<uint(i)) != 0 {
+			syndrome ^= eccPositions[i]
+		}
+	}
+	check := syndrome & 0x7f
+	// Overall parity over data plus the 7 Hamming check bits.
+	overall := ParityOf64(data) != (popcount8(check)%2 == 1)
+	if overall {
+		check |= 0x80
+	}
+	return ECCWord{Data: data, Check: check}
+}
+
+func popcount8(b uint8) int {
+	n := 0
+	for b != 0 {
+		b &= b - 1
+		n++
+	}
+	return n
+}
+
+// ECCResult classifies the outcome of a SECDED decode.
+type ECCResult int
+
+const (
+	// ECCClean means the stored word had no detectable error.
+	ECCClean ECCResult = iota + 1
+	// ECCCorrected means a single-bit error was detected and corrected.
+	ECCCorrected
+	// ECCUncorrectable means a multi-bit error was detected; the returned
+	// data is not trustworthy.
+	ECCUncorrectable
+)
+
+func (r ECCResult) String() string {
+	switch r {
+	case ECCClean:
+		return "clean"
+	case ECCCorrected:
+		return "corrected"
+	case ECCUncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("ECCResult(%d)", int(r))
+	}
+}
+
+// DecodeSECDED checks a stored word, correcting a single-bit error in either
+// the data or the check bits. It returns the (possibly corrected) data and
+// the classification.
+func DecodeSECDED(w ECCWord) (uint64, ECCResult) {
+	// Syndrome: XOR of position codes of set data bits vs the stored
+	// Hamming check bits.
+	var recomputed uint8
+	for i := 0; i < 64; i++ {
+		if w.Data&(1<<uint(i)) != 0 {
+			recomputed ^= eccPositions[i]
+		}
+	}
+	syndrome := (w.Check ^ recomputed) & 0x7f
+
+	// Overall parity of the received word (data + low-7 check + overall
+	// bit). Encoding makes this even, so odd parity here means an odd
+	// number of bit errors.
+	oddErrors := ParityOf64(w.Data) !=
+		(popcount8(w.Check)%2 == 1)
+
+	switch {
+	case syndrome == 0 && !oddErrors:
+		return w.Data, ECCClean
+	case syndrome == 0 && oddErrors:
+		// Error confined to the overall parity bit itself.
+		return w.Data, ECCCorrected
+	case oddErrors:
+		// Nonzero syndrome with odd overall parity: a single error.
+		if syndrome&(syndrome-1) == 0 {
+			// The flipped bit is one of the Hamming check bits.
+			return w.Data, ECCCorrected
+		}
+		for i := 0; i < 64; i++ {
+			if eccPositions[i] == syndrome {
+				return w.Data ^ (1 << uint(i)), ECCCorrected
+			}
+		}
+		// Syndrome names no known position: alias of a multi-bit error.
+		return w.Data, ECCUncorrectable
+	default:
+		// Nonzero syndrome with even overall parity: double error.
+		return w.Data, ECCUncorrectable
+	}
+}

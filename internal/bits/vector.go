@@ -1,0 +1,173 @@
+// Package bits provides the low-level bit manipulation primitives shared by
+// the latch database, the protected-array model and the hardware checkers:
+// fixed-size bit vectors, parity computation, a SECDED Hamming code and
+// mod-3 residue arithmetic.
+package bits
+
+import (
+	"fmt"
+	mathbits "math/bits"
+	"strings"
+)
+
+// Vector is a fixed-length vector of bits backed by 64-bit words. The zero
+// value is an empty vector; use NewVector to allocate one with a length.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// NewVector returns a Vector holding n bits, all zero.
+func NewVector(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bits: negative vector length %d", n))
+	}
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bits: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Bit reports whether bit i is set.
+func (v *Vector) Bit(i int) bool {
+	v.check(i)
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// SetBit sets bit i to b.
+func (v *Vector) SetBit(i int, b bool) {
+	v.check(i)
+	if b {
+		v.words[i>>6] |= 1 << uint(i&63)
+	} else {
+		v.words[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+// Flip inverts bit i and returns its new value.
+func (v *Vector) Flip(i int) bool {
+	v.check(i)
+	v.words[i>>6] ^= 1 << uint(i&63)
+	return v.Bit(i)
+}
+
+// Word returns up to 64 bits starting at bit offset off. Bits beyond the end
+// of the vector read as zero. width must be in [0,64].
+func (v *Vector) Word(off, width int) uint64 {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bits: word width %d out of range [0,64]", width))
+	}
+	var out uint64
+	for i := 0; i < width; i++ {
+		if off+i < v.n && v.Bit(off+i) {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// SetWord writes the low width bits of w starting at bit offset off. Bits
+// beyond the end of the vector are ignored.
+func (v *Vector) SetWord(off, width int, w uint64) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bits: word width %d out of range [0,64]", width))
+	}
+	for i := 0; i < width; i++ {
+		if off+i < v.n {
+			v.SetBit(off+i, w&(1<<uint(i)) != 0)
+		}
+	}
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vector) OnesCount() int {
+	total := 0
+	for _, w := range v.words {
+		total += mathbits.OnesCount64(w)
+	}
+	return total
+}
+
+// Parity returns the XOR of all bits (true = odd number of ones).
+func (v *Vector) Parity() bool { return v.OnesCount()%2 == 1 }
+
+// Clone returns a deep copy of the vector.
+func (v *Vector) Clone() *Vector {
+	w := NewVector(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// CopyFrom overwrites this vector's contents with src. The lengths must
+// match.
+func (v *Vector) CopyFrom(src *Vector) {
+	if v.n != src.n {
+		panic(fmt.Sprintf("bits: copy length mismatch %d != %d", v.n, src.n))
+	}
+	copy(v.words, src.words)
+}
+
+// Equal reports whether two vectors have identical length and contents.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears every bit.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// DiffBits returns the indices of bits where v and o differ. The lengths
+// must match.
+func (v *Vector) DiffBits(o *Vector) []int {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bits: diff length mismatch %d != %d", v.n, o.n))
+	}
+	var diff []int
+	for wi := range v.words {
+		x := v.words[wi] ^ o.words[wi]
+		for x != 0 {
+			b := mathbits.TrailingZeros64(x)
+			i := wi*64 + b
+			if i < v.n {
+				diff = append(diff, i)
+			}
+			x &= x - 1
+		}
+	}
+	return diff
+}
+
+// String renders the vector MSB-first as a binary string, for debugging.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := v.n - 1; i >= 0; i-- {
+		if v.Bit(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// ParityOf64 returns the even/odd parity bit of a 64-bit word (true = odd
+// number of ones), the primitive used by hardware parity checkers.
+func ParityOf64(w uint64) bool { return mathbits.OnesCount64(w)%2 == 1 }

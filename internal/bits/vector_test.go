@@ -1,0 +1,262 @@
+package bits
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVectorZero(t *testing.T) {
+	v := NewVector(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	for i := 0; i < 130; i++ {
+		if v.Bit(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+	}
+	if v.OnesCount() != 0 {
+		t.Fatalf("OnesCount = %d, want 0", v.OnesCount())
+	}
+}
+
+func TestSetBitAndBit(t *testing.T) {
+	v := NewVector(200)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range idx {
+		v.SetBit(i, true)
+	}
+	for _, i := range idx {
+		if !v.Bit(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if got := v.OnesCount(); got != len(idx) {
+		t.Errorf("OnesCount = %d, want %d", got, len(idx))
+	}
+	v.SetBit(64, false)
+	if v.Bit(64) {
+		t.Error("bit 64 still set after clear")
+	}
+}
+
+func TestFlip(t *testing.T) {
+	v := NewVector(10)
+	if got := v.Flip(3); !got {
+		t.Error("Flip(3) of zero bit returned false")
+	}
+	if got := v.Flip(3); got {
+		t.Error("second Flip(3) returned true")
+	}
+	if v.OnesCount() != 0 {
+		t.Error("vector not back to zero after double flip")
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	tests := []struct {
+		off, width int
+		val        uint64
+	}{
+		{0, 64, 0xdeadbeefcafef00d},
+		{5, 32, 0x12345678},
+		{60, 16, 0xffff}, // straddles a word boundary
+		{100, 1, 1},
+		{0, 0, 0},
+	}
+	v := NewVector(256)
+	for _, tc := range tests {
+		v.Reset()
+		v.SetWord(tc.off, tc.width, tc.val)
+		mask := ^uint64(0)
+		if tc.width < 64 {
+			mask = (1 << uint(tc.width)) - 1
+		}
+		if got := v.Word(tc.off, tc.width); got != tc.val&mask {
+			t.Errorf("Word(%d,%d) = %#x, want %#x", tc.off, tc.width, got, tc.val&mask)
+		}
+	}
+}
+
+func TestWordBeyondEnd(t *testing.T) {
+	v := NewVector(70)
+	v.SetWord(60, 20, 0xfffff) // only bits 60..69 land
+	if got := v.OnesCount(); got != 10 {
+		t.Errorf("OnesCount = %d, want 10 (writes past end must be dropped)", got)
+	}
+	if got := v.Word(60, 20); got != 0x3ff {
+		t.Errorf("Word(60,20) = %#x, want 0x3ff (reads past end are zero)", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	v := NewVector(128)
+	v.SetBit(10, true)
+	w := v.Clone()
+	w.SetBit(20, true)
+	if v.Bit(20) {
+		t.Error("mutation of clone visible in original")
+	}
+	if !w.Bit(10) {
+		t.Error("clone lost original bit")
+	}
+}
+
+func TestCopyFromAndEqual(t *testing.T) {
+	v := NewVector(100)
+	v.SetWord(0, 64, 0xabcdef)
+	w := NewVector(100)
+	if w.Equal(v) {
+		t.Error("distinct vectors reported equal")
+	}
+	w.CopyFrom(v)
+	if !w.Equal(v) {
+		t.Error("CopyFrom result not equal")
+	}
+	u := NewVector(99)
+	if u.Equal(v) {
+		t.Error("different-length vectors reported equal")
+	}
+}
+
+func TestDiffBits(t *testing.T) {
+	v := NewVector(130)
+	w := NewVector(130)
+	w.SetBit(0, true)
+	w.SetBit(64, true)
+	w.SetBit(129, true)
+	got := v.DiffBits(w)
+	want := []int{0, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("DiffBits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DiffBits = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParity(t *testing.T) {
+	v := NewVector(64)
+	if v.Parity() {
+		t.Error("zero vector has odd parity")
+	}
+	v.SetBit(5, true)
+	if !v.Parity() {
+		t.Error("one-bit vector has even parity")
+	}
+	v.SetBit(63, true)
+	if v.Parity() {
+		t.Error("two-bit vector has odd parity")
+	}
+}
+
+func TestParityOf64(t *testing.T) {
+	tests := []struct {
+		w    uint64
+		want bool
+	}{
+		{0, false},
+		{1, true},
+		{3, false},
+		{0xffffffffffffffff, false},
+		{0x8000000000000001, false},
+		{0x8000000000000000, true},
+	}
+	for _, tc := range tests {
+		if got := ParityOf64(tc.w); got != tc.want {
+			t.Errorf("ParityOf64(%#x) = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := NewVector(4)
+	v.SetBit(0, true)
+	v.SetBit(3, true)
+	if got := v.String(); got != "1001" {
+		t.Errorf("String = %q, want 1001", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := NewVector(8)
+	for _, f := range []func(){
+		func() { v.Bit(8) },
+		func() { v.Bit(-1) },
+		func() { v.SetBit(8, true) },
+		func() { v.Flip(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: flipping a random set of bits twice restores the vector.
+func TestQuickDoubleFlipIdentity(t *testing.T) {
+	f := func(seed uint64, nbits uint16) bool {
+		n := int(nbits%500) + 1
+		v := NewVector(n)
+		rng := rand.New(rand.NewPCG(seed, 1))
+		for i := 0; i < n; i++ {
+			v.SetBit(i, rng.IntN(2) == 1)
+		}
+		orig := v.Clone()
+		idx := make([]int, 0, 16)
+		for i := 0; i < 16; i++ {
+			idx = append(idx, rng.IntN(n))
+		}
+		for _, i := range idx {
+			v.Flip(i)
+		}
+		for i := len(idx) - 1; i >= 0; i-- {
+			v.Flip(idx[i])
+		}
+		return v.Equal(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Word/SetWord round-trips arbitrary values at arbitrary offsets.
+func TestQuickWordRoundTrip(t *testing.T) {
+	f := func(val uint64, off uint8, width uint8) bool {
+		w := int(width % 65)
+		o := int(off % 64)
+		v := NewVector(192)
+		v.SetWord(o, w, val)
+		mask := ^uint64(0)
+		if w < 64 {
+			mask = (1 << uint(w)) - 1
+		}
+		return v.Word(o, w) == val&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OnesCount equals the number of DiffBits against zero.
+func TestQuickOnesCountMatchesDiff(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		n := rng.IntN(300) + 1
+		v := NewVector(n)
+		for i := 0; i < n; i++ {
+			v.SetBit(i, rng.IntN(3) == 0)
+		}
+		return v.OnesCount() == len(NewVector(n).DiffBits(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

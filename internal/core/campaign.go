@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"strings"
+	"sync"
+
+	"sfi/internal/latch"
+)
+
+// CampaignConfig describes a statistical fault-injection campaign.
+type CampaignConfig struct {
+	Runner RunnerConfig
+
+	// Seed drives latch sampling (and nothing else; the model and AVP are
+	// deterministic given their own configs).
+	Seed uint64
+
+	// Flips is the number of latch bits to inject, sampled without
+	// replacement from the filtered population.
+	Flips int
+
+	// Filter restricts the sampled population (nil = the whole design) —
+	// the paper's targeted injection into units, latch types or macros.
+	Filter latch.Filter
+
+	// Workers is the number of concurrent model copies ("multiple
+	// concurrent copies of the simulation environment can be run"); 0
+	// means GOMAXPROCS.
+	Workers int
+
+	// KeepResults retains every per-injection Result in the report (set
+	// false for very large campaigns to save memory; aggregates are
+	// always kept).
+	KeepResults bool
+}
+
+// DefaultCampaignConfig returns a whole-core random campaign configuration.
+func DefaultCampaignConfig() CampaignConfig {
+	return CampaignConfig{
+		Runner:      DefaultRunnerConfig(),
+		Seed:        1,
+		Flips:       1000,
+		KeepResults: true,
+	}
+}
+
+// ByGroupPrefix selects latch groups whose name starts with prefix — the
+// paper's macro-targeted injection.
+func ByGroupPrefix(prefix string) latch.Filter {
+	return func(g *latch.Group) bool { return strings.HasPrefix(g.Name, prefix) }
+}
+
+// Report aggregates a campaign's outcomes.
+type Report struct {
+	Total   int
+	Counts  map[Outcome]int
+	ByUnit  map[string]map[Outcome]int
+	ByType  map[latch.Type]map[Outcome]int
+	Results []Result // per-injection detail when KeepResults
+}
+
+// Fraction returns the fraction of injections with outcome o.
+func (r *Report) Fraction(o Outcome) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Counts[o]) / float64(r.Total)
+}
+
+// UnitFraction returns the fraction of a unit's injections with outcome o.
+func (r *Report) UnitFraction(unit string, o Outcome) float64 {
+	m := r.ByUnit[unit]
+	total := 0
+	for _, n := range m {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(m[o]) / float64(total)
+}
+
+// TypeFraction returns the fraction of a latch type's injections with
+// outcome o.
+func (r *Report) TypeFraction(t latch.Type, o Outcome) float64 {
+	m := r.ByType[t]
+	total := 0
+	for _, n := range m {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(m[o]) / float64(total)
+}
+
+func newReport() *Report {
+	return &Report{
+		Counts: make(map[Outcome]int),
+		ByUnit: make(map[string]map[Outcome]int),
+		ByType: make(map[latch.Type]map[Outcome]int),
+	}
+}
+
+func (r *Report) add(res Result, keep bool) {
+	r.Total++
+	r.Counts[res.Outcome]++
+	if r.ByUnit[res.Unit] == nil {
+		r.ByUnit[res.Unit] = make(map[Outcome]int)
+	}
+	r.ByUnit[res.Unit][res.Outcome]++
+	if r.ByType[res.LatchType] == nil {
+		r.ByType[res.LatchType] = make(map[Outcome]int)
+	}
+	r.ByType[res.LatchType][res.Outcome]++
+	if keep {
+		r.Results = append(r.Results, res)
+	}
+}
+
+// RunCampaign executes a campaign: it samples Flips latch bits from the
+// filtered population and classifies every injection, fanning the work out
+// over concurrent model copies.
+func RunCampaign(cfg CampaignConfig) (*Report, error) {
+	if cfg.Flips < 1 {
+		return nil, fmt.Errorf("core: campaign needs at least one flip")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Flips {
+		workers = cfg.Flips
+	}
+
+	// One runner up front: it provides the latch database for sampling
+	// and serves as worker 0's model.
+	first, err := NewRunner(cfg.Runner)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5f1))
+	bits := first.Core().DB().SampleBits(rng, cfg.Flips, cfg.Filter)
+
+	results := make([]Result, len(bits))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	errCh := make(chan error, workers)
+
+	worker := func(r *Runner) {
+		defer wg.Done()
+		for i := range next {
+			results[i] = r.RunInjection(bits[i])
+		}
+	}
+
+	wg.Add(workers)
+	go worker(first)
+	for w := 1; w < workers; w++ {
+		go func() {
+			r, err := NewRunner(cfg.Runner)
+			if err != nil {
+				errCh <- err
+				wg.Done()
+				// Drain nothing; the dispatcher below keeps the other
+				// workers fed.
+				return
+			}
+			worker(r)
+		}()
+	}
+
+	for i := range bits {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	rep := newReport()
+	for _, res := range results {
+		rep.add(res, cfg.KeepResults)
+	}
+	return rep, nil
+}
+
+// String renders the report in the paper's Table 2 style.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total flips: %d\n", r.Total)
+	for _, o := range Outcomes {
+		fmt.Fprintf(&sb, "  %-10s %6d  (%6.2f%%)\n", o, r.Counts[o], 100*r.Fraction(o))
+	}
+	return sb.String()
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"testing"
+
+	"sfi/internal/emu"
+	"sfi/internal/latch"
+	"sfi/internal/proc"
+)
+
+// fastRunnerConfig keeps unit tests quick.
+func fastRunnerConfig() RunnerConfig {
+	cfg := DefaultRunnerConfig()
+	cfg.AVP.Testcases = 6
+	cfg.AVP.BodyOps = 14
+	return cfg
+}
+
+func fastCampaignConfig() CampaignConfig {
+	c := DefaultCampaignConfig()
+	c.Runner = fastRunnerConfig()
+	c.Flips = 120
+	return c
+}
+
+func findBit(t *testing.T, db *latch.DB, group string, entry, bitInEntry int) int {
+	t.Helper()
+	g, ok := db.GroupByName(group)
+	if !ok {
+		t.Fatalf("no group %q", group)
+	}
+	for b := 0; b < db.TotalBits(); b++ {
+		if gg, e, bb := db.Locate(b); gg == g && e == entry && bb == bitInEntry {
+			return b
+		}
+	}
+	t.Fatalf("bit not found in %s", group)
+	return -1
+}
+
+func TestRunnerDeterministicPerBit(t *testing.T) {
+	r1, err := NewRunner(fastRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner(fastRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := []int{100, 5000, 20000, 40000}
+	for _, b := range bits {
+		if b >= r1.Core().DB().TotalBits() {
+			continue
+		}
+		a := r1.RunInjection(b)
+		bb := r2.RunInjection(b)
+		if a.Outcome != bb.Outcome || a.Cycles != bb.Cycles || a.Recoveries != bb.Recoveries {
+			t.Errorf("bit %d: results differ across identical runners: %+v vs %+v", b, a, bb)
+		}
+	}
+}
+
+func TestRunnerRepeatable(t *testing.T) {
+	r, err := NewRunner(fastRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit := findBit(t, r.Core().DB(), "fxu.gpr", 3, 12)
+	a := r.RunInjection(bit)
+	b := r.RunInjection(bit)
+	if a.Outcome != b.Outcome || a.Cycles != b.Cycles {
+		t.Errorf("same-runner repeat differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestInjectionIntoSpareModeVanishes(t *testing.T) {
+	r, err := NewRunner(fastRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit := findBit(t, r.Core().DB(), "prv.mode.spare", 2, 30)
+	res := r.RunInjection(bit)
+	if res.Outcome != Vanished {
+		t.Errorf("spare mode bit flip: %v, want vanished", res.Outcome)
+	}
+	if res.Detected {
+		t.Error("spare mode bit flip was detected")
+	}
+}
+
+func TestInjectionIntoRingIntegrityCheckstops(t *testing.T) {
+	r, err := NewRunner(fastRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit := findBit(t, r.Core().DB(), "lsu.mode", 0, 3)
+	res := r.RunInjection(bit)
+	if res.Outcome != Checkstop {
+		t.Fatalf("ring integrity flip: %v, want checkstop", res.Outcome)
+	}
+	if !res.Detected || res.FirstChecker != "ring.lsu" {
+		t.Errorf("cause-effect trace wrong: detected=%v by=%q", res.Detected, res.FirstChecker)
+	}
+	if res.DetectLatency > 4 {
+		t.Errorf("ring corruption detection latency %d too long", res.DetectLatency)
+	}
+}
+
+func TestInjectionLiveGPRTraced(t *testing.T) {
+	// Sweep several live-register bits; at least one must be caught and
+	// traced to the GPR parity checker with a recovery.
+	r, err := NewRunner(fastRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := false
+	for e := 1; e <= 8 && !caught; e++ {
+		for b := 0; b < 64; b += 11 {
+			res := r.RunInjection(findBit(t, r.Core().DB(), "fxu.gpr", e, b))
+			if res.Outcome == Corrected && res.FirstChecker == "fxu.gpr.par" {
+				if res.Recoveries == 0 {
+					t.Error("corrected without recovery count")
+				}
+				caught = true
+				break
+			}
+		}
+	}
+	if !caught {
+		t.Error("no live GPR flip was caught and traced")
+	}
+}
+
+func TestStickyLiveFaultEscalatesToCheckstop(t *testing.T) {
+	cfg := fastRunnerConfig()
+	cfg.Mode = emu.Sticky
+	cfg.StickyCycles = 0
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stuck-at in the fetch PC parity domain re-fires after every
+	// recovery: the RUT's retry threshold must checkstop.
+	bit := findBit(t, r.Core().DB(), "ifu.pc.par", 0, 0)
+	res := r.RunInjection(bit)
+	if res.Outcome != Checkstop && res.Outcome != Hang {
+		t.Errorf("permanent stuck-at outcome %v, want checkstop (or hang)", res.Outcome)
+	}
+}
+
+func TestCampaignAggregates(t *testing.T) {
+	rep, err := RunCampaign(fastCampaignConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 120 || len(rep.Results) != 120 {
+		t.Fatalf("total %d, results %d", rep.Total, len(rep.Results))
+	}
+	sum := 0
+	for _, o := range Outcomes {
+		sum += rep.Counts[o]
+	}
+	if sum != rep.Total {
+		t.Errorf("outcome counts sum to %d, total %d", sum, rep.Total)
+	}
+	// Unit and type breakdowns must also sum to the total.
+	usum := 0
+	for _, m := range rep.ByUnit {
+		for _, n := range m {
+			usum += n
+		}
+	}
+	if usum != rep.Total {
+		t.Errorf("unit counts sum to %d", usum)
+	}
+	// Fractions are consistent.
+	var f float64
+	for _, o := range Outcomes {
+		f += rep.Fraction(o)
+	}
+	if f < 0.999 || f > 1.001 {
+		t.Errorf("fractions sum to %f", f)
+	}
+}
+
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Flips = 60
+	cfg.Workers = 1
+	a, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 3
+	b, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range Outcomes {
+		if a.Counts[o] != b.Counts[o] {
+			t.Errorf("outcome %v: %d (1 worker) vs %d (3 workers)",
+				o, a.Counts[o], b.Counts[o])
+		}
+	}
+}
+
+func TestCampaignFilterRestrictsPopulation(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Flips = 40
+	cfg.Filter = latch.ByUnit(proc.UnitFPU)
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		if res.Unit != proc.UnitFPU {
+			t.Fatalf("filtered campaign injected into %s", res.Unit)
+		}
+	}
+}
+
+func TestCampaignGroupPrefixFilter(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Flips = 30
+	cfg.Filter = ByGroupPrefix("ifu.bht")
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		if res.Group != "ifu.bht" && res.Group != "ifu.bht2" {
+			t.Fatalf("macro-targeted campaign hit %s", res.Group)
+		}
+		// Predictor bits are performance-only: they must all vanish.
+		if res.Outcome != Vanished {
+			t.Errorf("BHT flip outcome %v", res.Outcome)
+		}
+	}
+}
+
+func TestCampaignBadConfig(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Flips = 0
+	if _, err := RunCampaign(cfg); err == nil {
+		t.Error("no error for zero flips")
+	}
+}
+
+func TestRawModeCampaignHasNoMachineVisibleEvents(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Flips = 150
+	cfg.Runner.CheckersOn = false
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counts[Corrected] != 0 {
+		t.Errorf("raw mode produced %d corrected outcomes", rep.Counts[Corrected])
+	}
+	if rep.Counts[Checkstop] != 0 {
+		t.Errorf("raw mode produced %d checkstops", rep.Counts[Checkstop])
+	}
+	// Raw vanish must exceed the checked-mode vanish (Table 3's shape).
+	cfg.Runner.CheckersOn = true
+	chk, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fraction(Vanished) < chk.Fraction(Vanished) {
+		t.Errorf("raw vanish %.3f < checked vanish %.3f",
+			rep.Fraction(Vanished), chk.Fraction(Vanished))
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		Vanished: "vanished", Corrected: "corrected", Hang: "hang",
+		Checkstop: "checkstop", SDC: "sdc",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%v.String() = %q", int(o), o.String())
+		}
+	}
+	if Outcome(42).String() == "" {
+		t.Error("unknown outcome renders empty")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := newReport()
+	rep.add(Result{Outcome: Vanished, Unit: "IFU", LatchType: latch.Func}, false)
+	s := rep.String()
+	if s == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestMultiBitUpsetParityBlindSpot(t *testing.T) {
+	// Even-weight adjacent clusters inside one parity-covered word cancel
+	// the parity bit: single-bit parity is blind to them, the classic
+	// multi-bit-upset weakness that motivates SECDED and physical bit
+	// interleaving. Detection (corrected outcomes) must therefore DROP
+	// for even spans relative to single-bit flips.
+	single := fastCampaignConfig()
+	single.Flips = 400
+	single.Seed = 77
+	srep, err := RunCampaign(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	even := single
+	even.Runner.SpanBits = 2
+	erep, err := RunCampaign(even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if erep.Fraction(Corrected) > srep.Fraction(Corrected) {
+		t.Errorf("2-bit clusters detected more than single flips: %.3f vs %.3f "+
+			"(parity should be blind to even-weight corruption)",
+			erep.Fraction(Corrected), srep.Fraction(Corrected))
+	}
+	// Odd spans flip the parity and stay detectable.
+	odd := single
+	odd.Runner.SpanBits = 3
+	orep, err := RunCampaign(odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orep.Fraction(Corrected)+0.01 < erep.Fraction(Corrected) {
+		t.Errorf("3-bit clusters (%.3f corrected) below 2-bit (%.3f): odd spans must stay detectable",
+			orep.Fraction(Corrected), erep.Fraction(Corrected))
+	}
+}
+
+func TestNestCampaignThroughFramework(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Flips = 150
+	cfg.Runner.Proc.EnableNest = true
+	cfg.Filter = latch.ByUnit(proc.UnitNEST)
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		if res.Unit != proc.UnitNEST {
+			t.Fatalf("hit unit %s", res.Unit)
+		}
+	}
+	if rep.Fraction(Vanished) < 0.8 {
+		t.Errorf("NEST vanish %.2f implausibly low", rep.Fraction(Vanished))
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// JSON serialization of campaign reports, for downstream tooling (plotting
+// the figures, regression-tracking resilience across design revisions).
+
+// reportJSON is the stable wire format of a Report.
+type reportJSON struct {
+	Total     int                           `json:"total"`
+	Counts    map[string]int                `json:"counts"`
+	Fractions map[string]float64            `json:"fractions"`
+	ByUnit    map[string]map[string]int     `json:"by_unit"`
+	ByType    map[string]map[string]int     `json:"by_type"`
+	Results   []resultJSON                  `json:"results,omitempty"`
+	Intervals map[string]map[string]float64 `json:"wilson95,omitempty"`
+}
+
+type resultJSON struct {
+	Bit           int    `json:"bit"`
+	Group         string `json:"group"`
+	Unit          string `json:"unit"`
+	LatchType     string `json:"latch_type"`
+	Entry         int    `json:"entry"`
+	BitInEntry    int    `json:"bit_in_entry"`
+	Outcome       string `json:"outcome"`
+	Detected      bool   `json:"detected"`
+	FirstChecker  string `json:"first_checker,omitempty"`
+	DetectLatency uint64 `json:"detect_latency,omitempty"`
+	Recoveries    uint64 `json:"recoveries"`
+	Cycles        uint64 `json:"cycles"`
+}
+
+// MarshalJSON renders the report in a stable, self-describing format.
+// Per-injection results are included only for non-vanished injections (the
+// interesting traces); aggregate counts always cover everything.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{
+		Total:     r.Total,
+		Counts:    make(map[string]int),
+		Fractions: make(map[string]float64),
+		ByUnit:    make(map[string]map[string]int),
+		ByType:    make(map[string]map[string]int),
+		Intervals: make(map[string]map[string]float64),
+	}
+	cis := r.ConfidenceIntervals(1.96)
+	for _, o := range Outcomes {
+		out.Counts[o.String()] = r.Counts[o]
+		out.Fractions[o.String()] = r.Fraction(o)
+		out.Intervals[o.String()] = map[string]float64{
+			"lo": cis[o].Lo, "hi": cis[o].Hi,
+		}
+	}
+	for unit, m := range r.ByUnit {
+		um := make(map[string]int)
+		for o, n := range m {
+			um[o.String()] = n
+		}
+		out.ByUnit[unit] = um
+	}
+	for ty, m := range r.ByType {
+		tm := make(map[string]int)
+		for o, n := range m {
+			tm[o.String()] = n
+		}
+		out.ByType[ty.String()] = tm
+	}
+	var interesting []Result
+	for _, res := range r.Results {
+		if res.Outcome != Vanished {
+			interesting = append(interesting, res)
+		}
+	}
+	sort.Slice(interesting, func(i, j int) bool { return interesting[i].Bit < interesting[j].Bit })
+	for _, res := range interesting {
+		out.Results = append(out.Results, resultJSON{
+			Bit:           res.Bit,
+			Group:         res.Group,
+			Unit:          res.Unit,
+			LatchType:     res.LatchType.String(),
+			Entry:         res.Entry,
+			BitInEntry:    res.BitInEntry,
+			Outcome:       res.Outcome.String(),
+			Detected:      res.Detected,
+			FirstChecker:  res.FirstChecker,
+			DetectLatency: res.DetectLatency,
+			Recoveries:    res.Recoveries,
+			Cycles:        res.Cycles,
+		})
+	}
+	return json.Marshal(out)
+}

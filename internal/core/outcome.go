@@ -1,0 +1,43 @@
+// Package core implements Statistical Fault Injection — the paper's
+// contribution. It orchestrates fault-injection campaigns over the
+// emulated model: random or targeted latch selection, checkpointed
+// injection runs under the AVP workload, outcome classification into the
+// paper's categories (vanished, corrected, hang, checkstop, incorrect
+// architected state), cause-and-effect tracing from the injected latch to
+// the first checker that saw it, and per-sample statistics.
+package core
+
+import "fmt"
+
+// Outcome classifies the destiny of one injected bit flip (Figure 1).
+type Outcome int
+
+// Outcomes, in the paper's vocabulary. SDC is the "BAD ARCH STATE" flag:
+// the AVP found incorrect architected state.
+const (
+	Vanished Outcome = iota + 1
+	Corrected
+	Hang
+	Checkstop
+	SDC
+)
+
+// Outcomes lists all outcomes in reporting order.
+var Outcomes = []Outcome{Vanished, Corrected, Hang, Checkstop, SDC}
+
+func (o Outcome) String() string {
+	switch o {
+	case Vanished:
+		return "vanished"
+	case Corrected:
+		return "corrected"
+	case Hang:
+		return "hang"
+	case Checkstop:
+		return "checkstop"
+	case SDC:
+		return "sdc"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sfi/internal/stats"
+)
+
+// Statistical and diagnostic views over a campaign Report: confidence
+// intervals on the outcome proportions (the error bars behind the paper's
+// Figure 2 argument), detection-latency statistics, and the per-checker
+// coverage table designers use to evaluate their RAS hardware.
+
+// Interval is a binomial confidence interval on an outcome proportion.
+type Interval struct {
+	Fraction float64
+	Lo, Hi   float64
+}
+
+// ConfidenceIntervals returns the Wilson score interval for each outcome at
+// confidence z (1.96 ≈ 95%).
+func (r *Report) ConfidenceIntervals(z float64) map[Outcome]Interval {
+	out := make(map[Outcome]Interval, len(Outcomes))
+	for _, o := range Outcomes {
+		lo, hi := stats.WilsonInterval(r.Counts[o], r.Total, z)
+		out[o] = Interval{Fraction: r.Fraction(o), Lo: lo, Hi: hi}
+	}
+	return out
+}
+
+// LatencyStats summarizes detection latency over the detected injections.
+type LatencyStats struct {
+	Detected int
+	Min, Max uint64
+	Mean     float64
+	P50, P95 uint64
+}
+
+// DetectionLatency computes statistics over the cycles-to-first-detection
+// of all detected injections. It requires KeepResults.
+func (r *Report) DetectionLatency() LatencyStats {
+	var lats []uint64
+	for _, res := range r.Results {
+		if res.Detected {
+			lats = append(lats, res.DetectLatency)
+		}
+	}
+	st := LatencyStats{Detected: len(lats)}
+	if len(lats) == 0 {
+		return st
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	st.Min = lats[0]
+	st.Max = lats[len(lats)-1]
+	sum := 0.0
+	for _, l := range lats {
+		sum += float64(l)
+	}
+	st.Mean = sum / float64(len(lats))
+	st.P50 = lats[len(lats)/2]
+	st.P95 = lats[len(lats)*95/100]
+	return st
+}
+
+// CheckerCoverage is one row of the coverage table: how often a checker was
+// the first to observe an injected fault, and what the faults became.
+type CheckerCoverage struct {
+	Checker  string
+	Detected int
+	Outcomes map[Outcome]int
+}
+
+// CoverageTable aggregates first-detection counts per checker, sorted by
+// detection count (descending). It requires KeepResults.
+func (r *Report) CoverageTable() []CheckerCoverage {
+	byChk := make(map[string]*CheckerCoverage)
+	for _, res := range r.Results {
+		if !res.Detected {
+			continue
+		}
+		cc := byChk[res.FirstChecker]
+		if cc == nil {
+			cc = &CheckerCoverage{
+				Checker:  res.FirstChecker,
+				Outcomes: make(map[Outcome]int),
+			}
+			byChk[res.FirstChecker] = cc
+		}
+		cc.Detected++
+		cc.Outcomes[res.Outcome]++
+	}
+	out := make([]CheckerCoverage, 0, len(byChk))
+	for _, cc := range byChk {
+		out = append(out, *cc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Detected != out[j].Detected {
+			return out[i].Detected > out[j].Detected
+		}
+		return out[i].Checker < out[j].Checker
+	})
+	return out
+}
+
+// DetailedString renders the report with 95% confidence intervals,
+// detection-latency statistics and the checker coverage table.
+func (r *Report) DetailedString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total flips: %d\n", r.Total)
+	cis := r.ConfidenceIntervals(1.96)
+	for _, o := range Outcomes {
+		ci := cis[o]
+		fmt.Fprintf(&sb, "  %-10s %6d  %6.2f%%  [%.2f%%, %.2f%%]\n",
+			o, r.Counts[o], 100*ci.Fraction, 100*ci.Lo, 100*ci.Hi)
+	}
+	if len(r.Results) > 0 {
+		ls := r.DetectionLatency()
+		if ls.Detected > 0 {
+			fmt.Fprintf(&sb, "detection latency over %d detected faults: "+
+				"min %d, p50 %d, mean %.0f, p95 %d, max %d cycles\n",
+				ls.Detected, ls.Min, ls.P50, ls.Mean, ls.P95, ls.Max)
+		}
+		cov := r.CoverageTable()
+		if len(cov) > 0 {
+			sb.WriteString("checker coverage (first detection):\n")
+			for _, cc := range cov {
+				fmt.Fprintf(&sb, "  %-16s %5d", cc.Checker, cc.Detected)
+				for _, o := range Outcomes {
+					if n := cc.Outcomes[o]; n > 0 {
+						fmt.Fprintf(&sb, "  %s %d", o, n)
+					}
+				}
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"sfi/internal/avp"
+	"sfi/internal/emu"
+	"sfi/internal/latch"
+	"sfi/internal/proc"
+)
+
+// RunnerConfig parameterizes one injection runner.
+type RunnerConfig struct {
+	Proc proc.Config
+	AVP  avp.Config
+
+	// Window is the post-injection observation budget in cycles. The
+	// paper clocks 500,000 cycles per injection; the default here is
+	// smaller with quiesce-based early exit (see the ablation bench).
+	Window int
+
+	// QuiesceExit ends an injection run early once this many consecutive
+	// testend barriers pass cleanly with no new error activity between
+	// them. 0 disables early exit (the paper's fixed-window behaviour).
+	QuiesceExit int
+
+	// CheckersOn masks (false) or enables (true) every hardware checker —
+	// the paper's Table 3 Raw-vs-Check configurations.
+	CheckersOn bool
+
+	// RecoveryOn disables the RUT when false (ablation).
+	RecoveryOn bool
+
+	// Mode selects toggle or sticky injection; StickyCycles bounds a
+	// sticky fault's lifetime (0 = permanent).
+	Mode         emu.Mode
+	StickyCycles int
+
+	// SpanBits > 1 injects multi-bit upsets: each injection flips
+	// SpanBits adjacent latch bits (clipped at the population edge).
+	SpanBits int
+}
+
+// DefaultRunnerConfig returns the standard SFI configuration.
+func DefaultRunnerConfig() RunnerConfig {
+	return RunnerConfig{
+		Proc:        proc.DefaultConfig(),
+		AVP:         avp.DefaultConfig(),
+		Window:      50_000,
+		QuiesceExit: 2,
+		CheckersOn:  true,
+		RecoveryOn:  true,
+		Mode:        emu.Toggle,
+	}
+}
+
+// Result records the destiny of one injection, including the cause-effect
+// trace from the flipped latch to the first checker that saw the error.
+type Result struct {
+	Bit        int
+	Group      string
+	Unit       string
+	LatchType  latch.Type
+	Entry      int
+	BitInEntry int
+
+	Outcome Outcome
+
+	// Cause-and-effect trace.
+	Detected      bool   // some checker observed the fault
+	FirstChecker  string // name of the first checker that posted
+	DetectLatency uint64 // cycles from injection to first detection
+
+	Recoveries uint64 // RUT retries during the observation window
+	Cycles     uint64 // cycles actually observed
+	TestEnds   int    // AVP barriers passed
+}
+
+// phasedCheckpoint is a model snapshot taken at one point of the AVP pass.
+type phasedCheckpoint struct {
+	ck     *proc.ModelCheckpoint
+	nextTC int // testcase index expected at the next testend barrier
+}
+
+// Runner owns one emulated model ready for repeated injections: the system
+// is warmed to AVP steady state and checkpointed at several phases of the
+// workload pass; every injection reloads one of the checkpoints (chosen
+// deterministically from the injected bit), advances a small additional
+// phase delay, flips the latch and monitors the outcome. Spreading the
+// injection instants across the workload is what makes the campaign sample
+// "realistic conditions" rather than one fixed machine state.
+type Runner struct {
+	cfg  RunnerConfig
+	eng  *emu.Engine
+	prog *avp.Program
+
+	ckpts     []phasedCheckpoint
+	baseRecov uint64
+}
+
+// NewRunner builds, warms and checkpoints a runner.
+func NewRunner(cfg RunnerConfig) (*Runner, error) {
+	if cfg.AVP.MemBytes != cfg.Proc.MemBytes {
+		cfg.AVP.MemBytes = cfg.Proc.MemBytes
+	}
+	prog, err := avp.Generate(cfg.AVP)
+	if err != nil {
+		return nil, err
+	}
+	c := proc.New(cfg.Proc)
+	c.Mem().LoadProgram(0, prog.Words)
+	c.SetCheckersEnabled(cfg.CheckersOn)
+	c.SetRecoveryEnabled(cfg.RecoveryOn)
+	eng := emu.New(c)
+
+	// Warm: two full passes reach AVP steady state (memory and registers
+	// in their periodic regime).
+	warmEnds := 2 * cfg.AVP.Testcases
+	ends := 0
+	for guard := 0; ends < warmEnds; guard++ {
+		if guard > 50_000_000 {
+			return nil, fmt.Errorf("core: warm-up did not converge")
+		}
+		if eng.Step().TestEnd {
+			ends++
+		}
+	}
+	r := &Runner{
+		cfg:       cfg,
+		eng:       eng,
+		prog:      prog,
+		baseRecov: c.Recoveries,
+	}
+	// One checkpoint per testcase boundary across a third full pass.
+	for i := 0; i < cfg.AVP.Testcases; i++ {
+		r.ckpts = append(r.ckpts, phasedCheckpoint{
+			ck:     eng.TakeCheckpoint(),
+			nextTC: ends % cfg.AVP.Testcases,
+		})
+		for guard := 0; ; guard++ {
+			if guard > 50_000_000 {
+				return nil, fmt.Errorf("core: checkpoint pass did not converge")
+			}
+			if eng.Step().TestEnd {
+				ends++
+				break
+			}
+		}
+	}
+	return r, nil
+}
+
+// splitmix64 is the per-bit hash that deterministically assigns each
+// injection its workload phase, independent of worker scheduling.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Core exposes the underlying model (for sampling its latch database).
+func (r *Runner) Core() *proc.Core { return r.eng.Core() }
+
+// Program exposes the AVP running on the model.
+func (r *Runner) Program() *avp.Program { return r.prog }
+
+// RunInjection reloads a phase-determined checkpoint, injects a single bit
+// flip and observes the machine, returning the classified result.
+func (r *Runner) RunInjection(bit int) Result {
+	h := splitmix64(uint64(bit))
+	ph := r.ckpts[h%uint64(len(r.ckpts))]
+	delay := int((h >> 16) % 197) // sub-testcase phase jitter, in cycles
+	r.eng.ReloadFrom(ph.ck)
+	c := r.eng.Core()
+	db := c.DB()
+	nextTC := ph.nextTC
+	for i := 0; i < delay; i++ {
+		if r.eng.Step().TestEnd {
+			nextTC = (nextTC + 1) % r.cfg.AVP.Testcases
+		}
+	}
+
+	g, entry, bie := db.Locate(bit)
+	res := Result{
+		Bit:        bit,
+		Group:      g.Name,
+		Unit:       g.Unit,
+		LatchType:  g.Kind,
+		Entry:      entry,
+		BitInEntry: bie,
+	}
+
+	injectCycle := c.Cycle
+	if err := r.eng.Inject(emu.Injection{
+		Bit: bit, Mode: r.cfg.Mode, Duration: r.cfg.StickyCycles,
+		Span: r.cfg.SpanBits,
+	}); err != nil {
+		panic(err) // bits come from the database's own sampling
+	}
+
+	tcIdx := nextTC
+	ncases := r.cfg.AVP.Testcases
+	sdc := false
+	cleanEnds := 0
+	lastActivity := c.Recoveries
+
+	onTestEnd := func() bool {
+		tc := r.prog.Testcases[tcIdx]
+		tcIdx = (tcIdx + 1) % ncases
+		st := c.ArchState()
+		sigOK := st.MaskedSignature(tc.GPRMask, tc.FPRMask, tc.SPRMask) == tc.SigMasked
+		memOK := c.Mem().DigestRange(r.prog.DataLo, r.prog.DataHi) == tc.MemDigest
+		if !sigOK || !memOK {
+			sdc = true
+			return false // incorrect architected state: stop
+		}
+		// Quiesce-based early exit: consecutive clean barriers with no
+		// new error activity in between.
+		if c.Recoveries != lastActivity || c.InRecovery() {
+			lastActivity = c.Recoveries
+			cleanEnds = 0
+			return true
+		}
+		cleanEnds++
+		return r.cfg.QuiesceExit == 0 || cleanEnds < r.cfg.QuiesceExit
+	}
+
+	run := r.eng.Run(r.cfg.Window, onTestEnd)
+	res.Cycles = run.Cycles
+	res.TestEnds = run.TestEnds
+	res.Recoveries = c.Recoveries - r.baseRecov
+
+	if id, cyc, ok := c.FirstError(); ok {
+		res.Detected = true
+		res.FirstChecker = c.CheckerByID(id).Name
+		res.DetectLatency = cyc - injectCycle
+	}
+
+	switch {
+	case c.Checkstopped():
+		res.Outcome = Checkstop
+	case run.Hang || run.NoProgress:
+		res.Outcome = Hang
+	case sdc:
+		res.Outcome = SDC
+	case res.Recoveries > 0 || c.ArrayCorrectedCount() > 0 || c.AnyFIR():
+		res.Outcome = Corrected
+	default:
+		res.Outcome = Vanished
+	}
+	return res
+}

@@ -1,0 +1,183 @@
+// Package emu is the emulation engine layer: the analogue of the paper's
+// Awan accelerator plus its controlling host. It owns a core model, saves
+// and reloads full-model checkpoints, schedules latch-bit fault injections
+// (toggle and sticky mode) and clocks the model while monitoring the fault
+// isolation registers and machine events — the "communication layer between
+// the Awan engine and the communication host".
+package emu
+
+import (
+	"fmt"
+
+	"sfi/internal/proc"
+)
+
+// Mode selects how long an injected fault is forced.
+type Mode int
+
+// Injection modes (paper section 2: "the fault may exist for the duration
+// of a cycle (toggle mode) or for a larger number of cycles (sticky mode)").
+const (
+	Toggle Mode = iota + 1
+	Sticky
+)
+
+func (m Mode) String() string {
+	if m == Toggle {
+		return "toggle"
+	}
+	return "sticky"
+}
+
+// Injection describes one latch fault.
+type Injection struct {
+	Bit  int  // logical latch-bit index in the core's latch database
+	Mode Mode // toggle: flip once; sticky: hold the flipped value
+	// Duration is the number of cycles a sticky fault is held
+	// (0 = held for the rest of the run).
+	Duration int
+	// Span flips Span adjacent logical bits starting at Bit (clipped to
+	// the population) — a multi-bit upset. 0 and 1 both mean single-bit.
+	// Sticky mode holds only the first bit of a span.
+	Span int
+}
+
+// Engine drives one core model.
+type Engine struct {
+	core *proc.Core
+	ckpt *proc.ModelCheckpoint
+
+	// Active sticky force, if any.
+	stickyBit   int
+	stickyVal   bool
+	stickyUntil uint64 // cycle bound; 0 = forever
+	stickyOn    bool
+}
+
+// New wraps a core in an engine.
+func New(core *proc.Core) *Engine {
+	return &Engine{core: core}
+}
+
+// Core exposes the underlying model.
+func (e *Engine) Core() *proc.Core { return e.core }
+
+// SaveCheckpoint captures the model state for later Reload calls.
+func (e *Engine) SaveCheckpoint() {
+	e.ckpt = e.core.SaveCheckpoint()
+}
+
+// Reload restores the model to the saved checkpoint and clears any sticky
+// force. It panics if no checkpoint was saved.
+func (e *Engine) Reload() {
+	if e.ckpt == nil {
+		panic("emu: Reload without a saved checkpoint")
+	}
+	e.ReloadFrom(e.ckpt)
+}
+
+// TakeCheckpoint captures the model state without installing it as the
+// engine's default reload point; the SFI runner keeps several checkpoints
+// spread across the workload so injections sample different phases.
+func (e *Engine) TakeCheckpoint() *proc.ModelCheckpoint {
+	return e.core.SaveCheckpoint()
+}
+
+// ReloadFrom restores the model from an explicit checkpoint, clearing any
+// sticky force.
+func (e *Engine) ReloadFrom(ck *proc.ModelCheckpoint) {
+	e.core.RestoreCheckpoint(ck)
+	e.stickyOn = false
+}
+
+// Inject applies a fault at the current cycle: the bit is flipped, and in
+// sticky mode the flipped value is re-forced after every subsequent cycle
+// until the duration expires.
+func (e *Engine) Inject(inj Injection) error {
+	db := e.core.DB()
+	if inj.Bit < 0 || inj.Bit >= db.TotalBits() {
+		return fmt.Errorf("emu: injection bit %d out of range [0,%d)", inj.Bit, db.TotalBits())
+	}
+	v := db.Flip(inj.Bit)
+	for i := 1; i < inj.Span && inj.Bit+i < db.TotalBits(); i++ {
+		db.Flip(inj.Bit + i)
+	}
+	if inj.Mode == Sticky {
+		e.stickyBit = inj.Bit
+		e.stickyVal = v
+		e.stickyOn = true
+		if inj.Duration > 0 {
+			e.stickyUntil = e.core.Cycle + uint64(inj.Duration)
+		} else {
+			e.stickyUntil = 0
+		}
+	}
+	return nil
+}
+
+// Step clocks the model one cycle, maintaining any sticky force.
+func (e *Engine) Step() proc.Event {
+	ev := e.core.Step()
+	if e.stickyOn {
+		if e.stickyUntil != 0 && e.core.Cycle >= e.stickyUntil {
+			e.stickyOn = false
+		} else {
+			e.core.DB().Poke(e.stickyBit, e.stickyVal)
+		}
+	}
+	return ev
+}
+
+// RunStats summarizes a monitored run.
+type RunStats struct {
+	Cycles     uint64 // cycles actually clocked
+	TestEnds   int    // testend barriers retired
+	Halted     bool
+	Checkstop  bool
+	Hang       bool // pervasive hang detector fired and gave up
+	NoProgress bool // harness watchdog: nothing completed for 2×HangLimit
+}
+
+// Run clocks up to maxCycles, invoking onTestEnd at every testend barrier
+// (if non-nil; returning false from the callback stops the run). The run
+// also stops on checkstop, halt, a detected hang, or harness-level loss of
+// forward progress.
+func (e *Engine) Run(maxCycles int, onTestEnd func() bool) RunStats {
+	var st RunStats
+	c := e.core
+	lastCompleted := c.Completed
+	lastProgressCycle := c.Cycle
+	harnessLimit := uint64(2 * c.Config().HangLimit)
+
+	for i := 0; i < maxCycles; i++ {
+		ev := e.Step()
+		st.Cycles++
+		if c.Completed != lastCompleted {
+			lastCompleted = c.Completed
+			lastProgressCycle = c.Cycle
+		}
+		if ev.TestEnd {
+			st.TestEnds++
+			if onTestEnd != nil && !onTestEnd() {
+				return st
+			}
+		}
+		if ev.Halted {
+			st.Halted = true
+			return st
+		}
+		if c.Checkstopped() {
+			st.Checkstop = true
+			return st
+		}
+		if c.HangDetected() {
+			st.Hang = true
+			return st
+		}
+		if c.Cycle-lastProgressCycle > harnessLimit {
+			st.NoProgress = true
+			return st
+		}
+	}
+	return st
+}

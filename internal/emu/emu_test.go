@@ -1,0 +1,200 @@
+package emu
+
+import (
+	"testing"
+
+	"sfi/internal/avp"
+	"sfi/internal/isa"
+	"sfi/internal/proc"
+)
+
+func newEngine(t *testing.T) (*Engine, *avp.Program) {
+	t.Helper()
+	cfg := avp.DefaultConfig()
+	cfg.Testcases = 4
+	cfg.BodyOps = 10
+	p := avp.MustGenerate(cfg)
+	core := proc.New(proc.DefaultConfig())
+	core.Mem().LoadProgram(0, p.Words)
+	e := New(core)
+	// Warm to steady state: two full passes.
+	ends := 0
+	for ends < 2*cfg.Testcases {
+		if e.Step().TestEnd {
+			ends++
+		}
+	}
+	return e, p
+}
+
+func TestCheckpointReloadDeterminism(t *testing.T) {
+	e, _ := newEngine(t)
+	e.SaveCheckpoint()
+
+	sigOf := func() []uint64 {
+		var sigs []uint64
+		for len(sigs) < 6 {
+			if ev := e.Step(); ev.TestEnd {
+				sigs = append(sigs, ev.Signature)
+			}
+		}
+		return sigs
+	}
+	a := sigOf()
+	e.Reload()
+	b := sigOf()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("signature %d differs after reload: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReloadWithoutCheckpointPanics(t *testing.T) {
+	e := New(proc.New(proc.DefaultConfig()))
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on Reload without checkpoint")
+		}
+	}()
+	e.Reload()
+}
+
+func TestInjectRangeError(t *testing.T) {
+	e, _ := newEngine(t)
+	if err := e.Inject(Injection{Bit: -1, Mode: Toggle}); err == nil {
+		t.Error("no error for negative bit")
+	}
+	if err := e.Inject(Injection{Bit: 1 << 30, Mode: Toggle}); err == nil {
+		t.Error("no error for out-of-range bit")
+	}
+}
+
+func TestToggleInjectionFlipsOnce(t *testing.T) {
+	e, _ := newEngine(t)
+	db := e.Core().DB()
+	g, _ := db.GroupByName("prv.trace")
+	_ = g
+	// Pick a quiet bit (spare mode latches are never rewritten by logic).
+	var bit int
+	for b := 0; b < db.TotalBits(); b++ {
+		if gg, _, _ := db.Locate(b); gg.Name == "prv.mode.spare" {
+			bit = b
+			break
+		}
+	}
+	if err := e.Inject(Injection{Bit: bit, Mode: Toggle}); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Peek(bit) {
+		t.Fatal("toggle did not flip the bit")
+	}
+	// Nothing forces it back: flipping again restores it.
+	db.Flip(bit)
+	e.Step()
+	if db.Peek(bit) {
+		t.Error("toggle mode kept forcing the bit")
+	}
+}
+
+func TestStickyInjectionHolds(t *testing.T) {
+	e, _ := newEngine(t)
+	db := e.Core().DB()
+	// A live, constantly rewritten latch: the hang counter.
+	g, ok := db.GroupByName("prv.hang.cnt")
+	if !ok {
+		t.Fatal("no hang counter group")
+	}
+	_ = g
+	var bit int
+	for b := 0; b < db.TotalBits(); b++ {
+		if gg, _, bb := db.Locate(b); gg.Name == "prv.hang.cnt" && bb == 9 {
+			bit = b
+			break
+		}
+	}
+	if err := e.Inject(Injection{Bit: bit, Mode: Sticky, Duration: 20}); err != nil {
+		t.Fatal(err)
+	}
+	want := db.Peek(bit)
+	for i := 0; i < 15; i++ {
+		e.Step()
+		if db.Peek(bit) != want {
+			t.Fatalf("sticky bit released at step %d", i)
+		}
+	}
+	// After the duration the force is gone; the logic rewrites the
+	// counter every cycle, so the bit returns to normal counting.
+	for i := 0; i < 30; i++ {
+		e.Step()
+	}
+	if e.stickyOn {
+		t.Error("sticky force still active past its duration")
+	}
+}
+
+func TestRunStopsOnHalt(t *testing.T) {
+	core := proc.New(proc.DefaultConfig())
+	core.Mem().LoadProgram(0, isa.MustAssemble("addi r1, r0, 5\nhalt"))
+	e := New(core)
+	st := e.Run(100000, nil)
+	if !st.Halted {
+		t.Fatalf("run did not report halt: %+v", st)
+	}
+}
+
+func TestRunCountsTestEnds(t *testing.T) {
+	e, p := newEngine(t)
+	n := 0
+	st := e.Run(1_000_000, func() bool {
+		n++
+		return n < 5
+	})
+	if st.TestEnds != 5 || n != 5 {
+		t.Errorf("testends = %d (callback %d), want 5", st.TestEnds, n)
+	}
+	_ = p
+}
+
+func TestRunDetectsCheckstop(t *testing.T) {
+	e, _ := newEngine(t)
+	db := e.Core().DB()
+	var bit int
+	for b := 0; b < db.TotalBits(); b++ {
+		if gg, _, _ := db.Locate(b); gg.Name == "prv.fir" {
+			bit = b
+			break
+		}
+	}
+	if err := e.Inject(Injection{Bit: bit, Mode: Toggle}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Run(10000, nil)
+	if !st.Checkstop {
+		t.Errorf("run did not report checkstop: %+v", st)
+	}
+}
+
+func TestRunDetectsNoProgress(t *testing.T) {
+	e, _ := newEngine(t)
+	// Freeze the IFU via its clock enable and mask every checker so the
+	// watchdog cannot intervene: the harness itself must notice.
+	e.Core().SetCheckersEnabled(false)
+	db := e.Core().DB()
+	for b := 0; b < db.TotalBits(); b++ {
+		if gg, _, bb := db.Locate(b); gg.Name == "prv.mode.hanglim" && bb == 11 {
+			db.Poke(b, false) // hang limit 2048 -> 0: watchdog disabled
+			break
+		}
+	}
+	for b := 0; b < db.TotalBits(); b++ {
+		if gg, _, bb := db.Locate(b); gg.Name == "prv.mode.clock" && bb == 0 {
+			db.Poke(b, false) // IFU clock off
+			break
+		}
+	}
+	st := e.Run(100000, nil)
+	if !st.NoProgress {
+		t.Errorf("harness did not detect loss of progress: %+v", st)
+	}
+}

@@ -1,0 +1,27 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a program's instruction words with addresses, one
+// line per word, resolving branch targets to absolute word addresses.
+func Disassemble(base uint64, words []uint32) string {
+	var sb strings.Builder
+	for i, w := range words {
+		addr := base + uint64(4*i)
+		in := Decode(w)
+		text := in.String()
+		switch in.Op {
+		case OpB, OpBL, OpBC, OpBDNZ:
+			target := addr + uint64(int64(in.Imm)*4)
+			text = fmt.Sprintf("%s\t; -> %#x", text, target)
+		}
+		if !in.Op.Valid() {
+			text = fmt.Sprintf(".word %#08x\t; undefined", w)
+		}
+		fmt.Fprintf(&sb, "%#08x:  %s\n", addr, text)
+	}
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleBasics(t *testing.T) {
+	words := MustAssemble(`
+		addi r1, r0, 5
+	loop:
+		addi r1, r1, -1
+		cmpi r1, 0
+		bc 0, 2, loop
+		halt
+	`)
+	out := Disassemble(0, words)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "addi r1, r0, 5") {
+		t.Errorf("line 0: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "-> 0x4") {
+		t.Errorf("branch target not resolved: %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "halt") {
+		t.Errorf("line 4: %q", lines[4])
+	}
+}
+
+func TestDisassembleUndefined(t *testing.T) {
+	out := Disassemble(0x100, []uint32{0})
+	if !strings.Contains(out, "undefined") || !strings.Contains(out, "0x00000100") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+// Property-ish: every assembler-producible instruction disassembles to a
+// line that reassembles to the identical word.
+func TestDisassembleReassembleProgram(t *testing.T) {
+	words := MustAssemble(`
+		addi r1, r0, 100
+		mtctr r1
+	x:	std r1, 8(r13)
+		ld  r2, 8(r13)
+		fadd f1, f2, f3
+		bdnz x
+		blr
+	`)
+	out := Disassemble(0, words)
+	for i, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		// Strip "addr:  " prefix and any "; ->" comment.
+		body := line[strings.Index(line, ":")+1:]
+		if j := strings.Index(body, ";"); j >= 0 {
+			body = body[:j]
+		}
+		body = strings.TrimSpace(body)
+		re, err := Assemble(body)
+		if err != nil {
+			t.Fatalf("line %d %q: %v", i, body, err)
+		}
+		if re[0] != words[i] {
+			t.Errorf("line %d: %#x != %#x (%q)", i, re[0], words[i], body)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded P6LITE instruction.
+//
+// Field use by form:
+//   - D-form (addi, ld, std, ...): RT, RA, Imm (signed 16-bit, except
+//     andi/ori/xori which treat it as an unsigned 16-bit immediate).
+//   - X-form (add, fadd, cmp, ...): RT, RA, RB.
+//   - Long branches (b, bl): Imm is a signed 26-bit word offset.
+//   - Conditional branches (bc): BO (bit 0: branch when the CR bit is SET if
+//     1, when CLEAR if 0), BI (CR0 bit index), Imm signed 16-bit word
+//     offset. bdnz uses only Imm.
+type Inst struct {
+	Op     Opcode
+	RT     uint8
+	RA     uint8
+	RB     uint8
+	BO     uint8
+	BI     uint8
+	Imm    int32
+	NumRaw uint32 // original encoding when produced by Decode, else 0
+}
+
+// Instruction word layout constants.
+const (
+	opShift = 26
+	rtShift = 21
+	raShift = 16
+	rbShift = 11
+
+	regMask   = 0x1f
+	imm16Mask = 0xffff
+	off26Mask = 0x03ffffff
+)
+
+func signExt16(v uint32) int32 { return int32(int16(uint16(v))) }
+
+func signExt26(v uint32) int32 {
+	v &= off26Mask
+	if v&(1<<25) != 0 {
+		v |= ^uint32(off26Mask)
+	}
+	return int32(v)
+}
+
+// isDForm reports whether op carries a 16-bit immediate with RT/RA fields.
+func isDForm(op Opcode) bool {
+	switch op {
+	case OpADDI, OpADDIS, OpANDI, OpORI, OpXORI,
+		OpLD, OpLW, OpSTD, OpSTW, OpLFD, OpSTFD, OpCMPI:
+		return true
+	}
+	return false
+}
+
+// isXForm reports whether op is a three-register (or subset) operation.
+func isXForm(op Opcode) bool {
+	switch op {
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLD, OpSRD, OpMUL, OpDIVD,
+		OpCMP, OpCMPL, OpMTCTR, OpMTLR, OpMFLR, OpMFCTR,
+		OpFADD, OpFSUB, OpFMUL, OpFDIV, OpFCMP, OpFMR:
+		return true
+	}
+	return false
+}
+
+// Encode packs an instruction into its 32-bit word. It panics on malformed
+// instructions (out-of-range registers or offsets), since instructions are
+// only built by the assembler and the AVP generator, both of which must emit
+// well-formed code.
+func Encode(in Inst) uint32 {
+	checkReg := func(name string, v uint8) {
+		if v > 31 {
+			panic(fmt.Sprintf("isa: %s register %d out of range", name, v))
+		}
+	}
+	w := uint32(in.Op) << opShift
+	switch {
+	case isDForm(in.Op):
+		checkReg("rt", in.RT)
+		checkReg("ra", in.RA)
+		if in.Imm < -32768 || in.Imm > 65535 {
+			panic(fmt.Sprintf("isa: immediate %d out of 16-bit range", in.Imm))
+		}
+		w |= uint32(in.RT) << rtShift
+		w |= uint32(in.RA) << raShift
+		w |= uint32(in.Imm) & imm16Mask
+	case isXForm(in.Op):
+		checkReg("rt", in.RT)
+		checkReg("ra", in.RA)
+		checkReg("rb", in.RB)
+		w |= uint32(in.RT) << rtShift
+		w |= uint32(in.RA) << raShift
+		w |= uint32(in.RB) << rbShift
+	case in.Op == OpB || in.Op == OpBL:
+		if in.Imm < -(1<<25) || in.Imm >= (1<<25) {
+			panic(fmt.Sprintf("isa: branch offset %d out of 26-bit range", in.Imm))
+		}
+		w |= uint32(in.Imm) & off26Mask
+	case in.Op == OpBC:
+		if in.BO > 1 || in.BI > 3 {
+			panic(fmt.Sprintf("isa: bc bo=%d bi=%d out of range", in.BO, in.BI))
+		}
+		if in.Imm < -32768 || in.Imm > 32767 {
+			panic(fmt.Sprintf("isa: bc offset %d out of 16-bit range", in.Imm))
+		}
+		w |= uint32(in.BO) << rtShift
+		w |= uint32(in.BI) << raShift
+		w |= uint32(in.Imm) & imm16Mask
+	case in.Op == OpBDNZ:
+		if in.Imm < -32768 || in.Imm > 32767 {
+			panic(fmt.Sprintf("isa: bdnz offset %d out of 16-bit range", in.Imm))
+		}
+		w |= uint32(in.Imm) & imm16Mask
+	case in.Op == OpBLR, in.Op == OpNOP, in.Op == OpTESTEND, in.Op == OpHALT,
+		in.Op == OpIllegal:
+		// No operand fields.
+	default:
+		panic(fmt.Sprintf("isa: cannot encode opcode %v", in.Op))
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit instruction word. Unknown opcodes decode to an
+// Inst with the raw opcode preserved; callers detect them via Op.Valid().
+func Decode(w uint32) Inst {
+	op := Opcode(w >> opShift)
+	in := Inst{Op: op, NumRaw: w}
+	switch {
+	case isDForm(op):
+		in.RT = uint8((w >> rtShift) & regMask)
+		in.RA = uint8((w >> raShift) & regMask)
+		in.Imm = signExt16(w & imm16Mask)
+	case isXForm(op):
+		in.RT = uint8((w >> rtShift) & regMask)
+		in.RA = uint8((w >> raShift) & regMask)
+		in.RB = uint8((w >> rbShift) & regMask)
+	case op == OpB || op == OpBL:
+		in.Imm = signExt26(w)
+	case op == OpBC:
+		in.BO = uint8((w >> rtShift) & regMask)
+		in.BI = uint8((w >> raShift) & regMask)
+		in.Imm = signExt16(w & imm16Mask)
+	case op == OpBDNZ:
+		in.Imm = signExt16(w & imm16Mask)
+	}
+	return in
+}
+
+// UImm returns the immediate interpreted as an unsigned 16-bit value, the
+// reading used by the logical immediates andi/ori/xori.
+func (in Inst) UImm() uint64 { return uint64(uint16(in.Imm)) }
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch {
+	case isDForm(in.Op):
+		switch in.Op {
+		case OpLD, OpLW, OpSTD, OpSTW, OpLFD, OpSTFD:
+			return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.RT, in.Imm, in.RA)
+		case OpANDI, OpORI, OpXORI:
+			return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.RT, in.RA, in.UImm())
+		case OpCMPI:
+			return fmt.Sprintf("cmpi r%d, %d", in.RA, in.Imm)
+		default:
+			return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.RT, in.RA, in.Imm)
+		}
+	case isXForm(in.Op):
+		switch in.Op {
+		case OpMTCTR, OpMTLR:
+			return fmt.Sprintf("%s r%d", in.Op, in.RA)
+		case OpMFLR, OpMFCTR:
+			return fmt.Sprintf("%s r%d", in.Op, in.RT)
+		case OpCMP, OpCMPL, OpFCMP:
+			return fmt.Sprintf("%s r%d, r%d", in.Op, in.RA, in.RB)
+		case OpFMR:
+			return fmt.Sprintf("%s f%d, f%d", in.Op, in.RT, in.RB)
+		case OpFADD, OpFSUB, OpFMUL, OpFDIV:
+			return fmt.Sprintf("%s f%d, f%d, f%d", in.Op, in.RT, in.RA, in.RB)
+		default:
+			return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.RT, in.RA, in.RB)
+		}
+	case in.Op == OpB || in.Op == OpBL:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case in.Op == OpBC:
+		return fmt.Sprintf("bc %d, %d, %d", in.BO, in.BI, in.Imm)
+	case in.Op == OpBDNZ:
+		return fmt.Sprintf("bdnz %d", in.Imm)
+	default:
+		return in.Op.String()
+	}
+}

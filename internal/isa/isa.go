@@ -1,0 +1,176 @@
+// Package isa defines the P6LITE instruction set: the 64-bit, 32-bit
+// fixed-width-encoded, POWER-flavoured ISA executed by both the golden
+// architectural simulator (internal/archsim) and the latch-accurate core
+// model (internal/proc).
+//
+// Architected state: 32 64-bit GPRs, 32 64-bit FPRs (IEEE-754 double), a
+// 4-bit condition register CR0 (LT, GT, EQ, SO), the link register LR, the
+// count register CTR and the program counter. Instructions are one 32-bit
+// word; the PC advances in units of 4.
+package isa
+
+import "fmt"
+
+// Opcode identifies a P6LITE instruction. Opcode 0 (all-zero word) is
+// deliberately illegal, as on real machines, so that wild fetches are
+// detectable.
+type Opcode uint8
+
+// The P6LITE opcode map.
+const (
+	OpIllegal Opcode = 0
+
+	// D-form immediate arithmetic.
+	OpADDI  Opcode = 1 // rt ← ra + simm
+	OpADDIS Opcode = 2 // rt ← ra + (simm << 16)
+	OpANDI  Opcode = 3 // rt ← ra & uimm
+	OpORI   Opcode = 4 // rt ← ra | uimm
+	OpXORI  Opcode = 5 // rt ← ra ^ uimm
+
+	// Loads and stores (D-form, displacement addressing).
+	OpLD   Opcode = 6  // rt ← mem64[ra+simm]
+	OpLW   Opcode = 7  // rt ← zext32(mem32[ra+simm])
+	OpSTD  Opcode = 8  // mem64[ra+simm] ← rt
+	OpSTW  Opcode = 9  // mem32[ra+simm] ← rt[31:0]
+	OpLFD  Opcode = 10 // frt ← mem64[ra+simm]
+	OpSTFD Opcode = 11 // mem64[ra+simm] ← frt
+
+	// X-form register-register fixed point.
+	OpADD  Opcode = 12 // rt ← ra + rb
+	OpSUB  Opcode = 13 // rt ← ra - rb
+	OpAND  Opcode = 14 // rt ← ra & rb
+	OpOR   Opcode = 15 // rt ← ra | rb
+	OpXOR  Opcode = 16 // rt ← ra ^ rb
+	OpSLD  Opcode = 17 // rt ← ra << (rb & 63)
+	OpSRD  Opcode = 18 // rt ← ra >> (rb & 63) (logical)
+	OpMUL  Opcode = 19 // rt ← low64(ra * rb)
+	OpDIVD Opcode = 20 // rt ← ra / rb signed; 0 if rb == 0 or overflow
+
+	// Comparisons (set CR0).
+	OpCMP  Opcode = 21 // signed compare ra, rb
+	OpCMPI Opcode = 22 // signed compare ra, simm
+	OpCMPL Opcode = 23 // unsigned compare ra, rb
+
+	// Branches.
+	OpB    Opcode = 24 // pc ← pc + off
+	OpBC   Opcode = 25 // conditional on CR0 bit BI, polarity BO bit 0
+	OpBL   Opcode = 26 // lr ← pc+4; pc ← pc + off
+	OpBLR  Opcode = 27 // pc ← lr
+	OpBDNZ Opcode = 28 // ctr--; branch if ctr != 0
+
+	// SPR moves.
+	OpMTCTR Opcode = 29 // ctr ← ra
+	OpMTLR  Opcode = 30 // lr ← ra
+	OpMFLR  Opcode = 31 // rt ← lr
+	OpMFCTR Opcode = 32 // rt ← ctr
+
+	// Floating point (X-form over FPRs).
+	OpFADD Opcode = 40 // frt ← fra + frb
+	OpFSUB Opcode = 41 // frt ← fra - frb
+	OpFMUL Opcode = 42 // frt ← fra * frb
+	OpFDIV Opcode = 43 // frt ← fra / frb
+	OpFCMP Opcode = 44 // CR0 ← compare fra, frb (SO on unordered)
+	OpFMR  Opcode = 45 // frt ← frb
+
+	// System.
+	OpNOP     Opcode = 58
+	OpTESTEND Opcode = 60 // testcase barrier: signature event with r3
+	OpHALT    Opcode = 61 // stop the machine
+
+	// NumOpcodes bounds the opcode space (6 bits).
+	NumOpcodes = 64
+)
+
+// CR0 bit indices.
+const (
+	CRLT = 0 // less than
+	CRGT = 1 // greater than
+	CREQ = 2 // equal
+	CRSO = 3 // summary overflow / unordered
+)
+
+// Class buckets instructions the way the paper's Table 1 does.
+type Class int
+
+// Instruction classes; Table 1 reports the first six.
+const (
+	ClassLoad Class = iota + 1
+	ClassStore
+	ClassFixed
+	ClassFloat
+	ClassCmp
+	ClassBranch
+	ClassOther
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassLoad:
+		return "Load"
+	case ClassStore:
+		return "Store"
+	case ClassFixed:
+		return "Fixed Point"
+	case ClassFloat:
+		return "Floating Point"
+	case ClassCmp:
+		return "Comparison"
+	case ClassBranch:
+		return "Branch"
+	case ClassOther:
+		return "Other"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Classes lists every class in Table 1 order.
+var Classes = []Class{ClassLoad, ClassStore, ClassFixed, ClassFloat, ClassCmp, ClassBranch}
+
+// ClassOf returns the Table 1 bucket for an opcode.
+func ClassOf(op Opcode) Class {
+	switch op {
+	case OpLD, OpLW, OpLFD:
+		return ClassLoad
+	case OpSTD, OpSTW, OpSTFD:
+		return ClassStore
+	case OpADDI, OpADDIS, OpANDI, OpORI, OpXORI,
+		OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLD, OpSRD, OpMUL, OpDIVD:
+		return ClassFixed
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV, OpFMR:
+		return ClassFloat
+	case OpCMP, OpCMPI, OpCMPL, OpFCMP:
+		return ClassCmp
+	case OpB, OpBC, OpBL, OpBLR, OpBDNZ:
+		return ClassBranch
+	default:
+		return ClassOther
+	}
+}
+
+var opNames = map[Opcode]string{
+	OpIllegal: "illegal",
+	OpADDI:    "addi", OpADDIS: "addis", OpANDI: "andi", OpORI: "ori", OpXORI: "xori",
+	OpLD: "ld", OpLW: "lw", OpSTD: "std", OpSTW: "stw", OpLFD: "lfd", OpSTFD: "stfd",
+	OpADD: "add", OpSUB: "sub", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpSLD: "sld", OpSRD: "srd", OpMUL: "mul", OpDIVD: "divd",
+	OpCMP: "cmp", OpCMPI: "cmpi", OpCMPL: "cmpl",
+	OpB: "b", OpBC: "bc", OpBL: "bl", OpBLR: "blr", OpBDNZ: "bdnz",
+	OpMTCTR: "mtctr", OpMTLR: "mtlr", OpMFLR: "mflr", OpMFCTR: "mfctr",
+	OpFADD: "fadd", OpFSUB: "fsub", OpFMUL: "fmul", OpFDIV: "fdiv",
+	OpFCMP: "fcmp", OpFMR: "fmr",
+	OpNOP: "nop", OpTESTEND: "testend", OpHALT: "halt",
+}
+
+func (op Opcode) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op%d", uint8(op))
+}
+
+// Valid reports whether op is a defined P6LITE opcode.
+func (op Opcode) Valid() bool {
+	_, ok := opNames[op]
+	return ok && op != OpIllegal
+}

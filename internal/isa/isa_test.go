@@ -1,0 +1,248 @@
+package isa
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassOfCoversEveryValidOpcode(t *testing.T) {
+	for op := range opNames {
+		if op == OpIllegal {
+			continue
+		}
+		c := ClassOf(op)
+		if c < ClassLoad || c > ClassOther {
+			t.Errorf("ClassOf(%v) = %v out of range", op, c)
+		}
+	}
+}
+
+func TestClassOfSpecifics(t *testing.T) {
+	tests := []struct {
+		op   Opcode
+		want Class
+	}{
+		{OpLD, ClassLoad}, {OpLFD, ClassLoad}, {OpLW, ClassLoad},
+		{OpSTD, ClassStore}, {OpSTFD, ClassStore},
+		{OpADD, ClassFixed}, {OpADDI, ClassFixed}, {OpMUL, ClassFixed},
+		{OpFADD, ClassFloat}, {OpFMR, ClassFloat},
+		{OpCMP, ClassCmp}, {OpCMPI, ClassCmp}, {OpFCMP, ClassCmp},
+		{OpB, ClassBranch}, {OpBC, ClassBranch}, {OpBLR, ClassBranch},
+		{OpNOP, ClassOther}, {OpTESTEND, ClassOther}, {OpMTCTR, ClassOther},
+	}
+	for _, tc := range tests {
+		if got := ClassOf(tc.op); got != tc.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestEncodeDecodeDForm(t *testing.T) {
+	tests := []Inst{
+		{Op: OpADDI, RT: 1, RA: 2, Imm: 100},
+		{Op: OpADDI, RT: 31, RA: 0, Imm: -32768},
+		{Op: OpLD, RT: 5, RA: 6, Imm: 32767},
+		{Op: OpSTW, RT: 0, RA: 31, Imm: -4},
+		{Op: OpCMPI, RA: 7, Imm: -1},
+		{Op: OpORI, RT: 9, RA: 9, Imm: 0x7fff},
+	}
+	for _, in := range tests {
+		got := Decode(Encode(in))
+		if got.Op != in.Op || got.RT != in.RT || got.RA != in.RA || got.Imm != in.Imm {
+			t.Errorf("round trip %+v -> %+v", in, got)
+		}
+	}
+}
+
+func TestEncodeDecodeXForm(t *testing.T) {
+	in := Inst{Op: OpADD, RT: 3, RA: 4, RB: 5}
+	got := Decode(Encode(in))
+	if got.Op != OpADD || got.RT != 3 || got.RA != 4 || got.RB != 5 {
+		t.Errorf("round trip %+v -> %+v", in, got)
+	}
+}
+
+func TestEncodeDecodeBranches(t *testing.T) {
+	tests := []Inst{
+		{Op: OpB, Imm: 1000},
+		{Op: OpB, Imm: -1000},
+		{Op: OpB, Imm: (1 << 25) - 1},
+		{Op: OpB, Imm: -(1 << 25)},
+		{Op: OpBL, Imm: -3},
+		{Op: OpBC, BO: 1, BI: 2, Imm: -8},
+		{Op: OpBC, BO: 0, BI: 3, Imm: 12},
+		{Op: OpBDNZ, Imm: -2},
+		{Op: OpBLR},
+	}
+	for _, in := range tests {
+		got := Decode(Encode(in))
+		if got.Op != in.Op || got.Imm != in.Imm || got.BO != in.BO || got.BI != in.BI {
+			t.Errorf("round trip %+v -> %+v", in, got)
+		}
+	}
+}
+
+func TestEncodePanicsOnMalformed(t *testing.T) {
+	tests := []Inst{
+		{Op: OpADDI, RT: 32, RA: 0, Imm: 0},
+		{Op: OpADDI, RT: 0, RA: 0, Imm: 1 << 20},
+		{Op: OpB, Imm: 1 << 25},
+		{Op: OpBC, BO: 2, BI: 0, Imm: 0},
+		{Op: OpBC, BO: 0, BI: 4, Imm: 0},
+	}
+	for _, in := range tests {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Encode(%+v) did not panic", in)
+				}
+			}()
+			Encode(in)
+		}()
+	}
+}
+
+func TestUImm(t *testing.T) {
+	in := Decode(Encode(Inst{Op: OpORI, RT: 1, RA: 1, Imm: int32(0xffff)}))
+	if in.UImm() != 0xffff {
+		t.Errorf("UImm = %#x, want 0xffff", in.UImm())
+	}
+	if in.Imm != -1 {
+		t.Errorf("Imm = %d, want -1 (sign extended view)", in.Imm)
+	}
+}
+
+func TestIllegalOpcodeDetection(t *testing.T) {
+	in := Decode(0)
+	if in.Op.Valid() {
+		t.Error("all-zero word decoded as valid")
+	}
+	in = Decode(uint32(50) << opShift) // unassigned opcode
+	if in.Op.Valid() {
+		t.Error("unassigned opcode 50 decoded as valid")
+	}
+	if !OpADD.Valid() {
+		t.Error("OpADD reported invalid")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpADDI, RT: 1, RA: 2, Imm: -5}, "addi r1, r2, -5"},
+		{Inst{Op: OpLD, RT: 3, RA: 4, Imm: 16}, "ld r3, 16(r4)"},
+		{Inst{Op: OpADD, RT: 1, RA: 2, RB: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpCMP, RA: 1, RB: 2}, "cmp r1, r2"},
+		{Inst{Op: OpFADD, RT: 1, RA: 2, RB: 3}, "fadd f1, f2, f3"},
+		{Inst{Op: OpB, Imm: -7}, "b -7"},
+		{Inst{Op: OpBLR}, "blr"},
+		{Inst{Op: OpTESTEND}, "testend"},
+	}
+	for _, tc := range tests {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// randomValidInst builds a random well-formed instruction for property tests.
+func randomValidInst(rng *rand.Rand) Inst {
+	ops := make([]Opcode, 0, len(opNames))
+	for op := range opNames {
+		if op != OpIllegal {
+			ops = append(ops, op)
+		}
+	}
+	// Sort for determinism of choice given the rng stream.
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j] < ops[j-1]; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+	op := ops[rng.IntN(len(ops))]
+	in := Inst{Op: op}
+	switch {
+	case op == OpCMPI:
+		in.RA = uint8(rng.IntN(32))
+		in.Imm = int32(rng.IntN(65536) - 32768)
+	case isDForm(op):
+		in.RT = uint8(rng.IntN(32))
+		in.RA = uint8(rng.IntN(32))
+		in.Imm = int32(rng.IntN(65536) - 32768)
+	case op == OpMTCTR || op == OpMTLR:
+		in.RA = uint8(rng.IntN(32))
+	case op == OpMFLR || op == OpMFCTR:
+		in.RT = uint8(rng.IntN(32))
+	case op == OpCMP || op == OpCMPL || op == OpFCMP:
+		in.RA = uint8(rng.IntN(32))
+		in.RB = uint8(rng.IntN(32))
+	case op == OpFMR:
+		in.RT = uint8(rng.IntN(32))
+		in.RB = uint8(rng.IntN(32))
+	case isXForm(op):
+		in.RT = uint8(rng.IntN(32))
+		in.RA = uint8(rng.IntN(32))
+		in.RB = uint8(rng.IntN(32))
+	case op == OpB || op == OpBL:
+		in.Imm = int32(rng.IntN(1<<26) - (1 << 25))
+	case op == OpBC:
+		in.BO = uint8(rng.IntN(2))
+		in.BI = uint8(rng.IntN(4))
+		in.Imm = int32(rng.IntN(65536) - 32768)
+	case op == OpBDNZ:
+		in.Imm = int32(rng.IntN(65536) - 32768)
+	}
+	return in
+}
+
+// Property: Encode/Decode round-trips every well-formed instruction.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		for i := 0; i < 50; i++ {
+			in := randomValidInst(rng)
+			got := Decode(Encode(in))
+			got.NumRaw = 0
+			if got != in {
+				t.Logf("mismatch: %+v -> %+v", in, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: assembling the String() of an instruction reproduces it.
+func TestQuickAsmDisasmRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 4))
+		in := randomValidInst(rng)
+		// String renders bdnz/bc label offsets numerically, which the
+		// assembler accepts, so a full round trip must hold.
+		words, err := Assemble(in.String())
+		if err != nil {
+			t.Logf("assemble %q: %v", in.String(), err)
+			return false
+		}
+		if len(words) != 1 {
+			return false
+		}
+		got := Decode(words[0])
+		got.NumRaw = 0
+		// andi/ori/xori String() prints the unsigned view; on reassembly
+		// parseImm yields a value whose low 16 bits match.
+		if got.Op != in.Op {
+			return false
+		}
+		return Encode(got) == Encode(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,52 @@
+package isa
+
+// RegSets returns the register read and write sets of an instruction as bit
+// masks: GPRs and FPRs by register number, SPRs with bit 0 = CR0, bit 1 =
+// LR, bit 2 = CTR. The core model uses these for hazard interlocks; the AVP
+// generator uses them to track which registers a testcase has defined.
+func RegSets(in Inst) (rdG, wrG uint32, rdF, wrF uint32, rdS, wrS uint8) {
+	g := func(r uint8) uint32 { return 1 << uint(r) }
+	switch in.Op {
+	case OpADDI, OpADDIS, OpANDI, OpORI, OpXORI:
+		rdG, wrG = g(in.RA), g(in.RT)
+	case OpLD, OpLW:
+		rdG, wrG = g(in.RA), g(in.RT)
+	case OpSTD, OpSTW:
+		rdG = g(in.RA) | g(in.RT)
+	case OpLFD:
+		rdG, wrF = g(in.RA), g(in.RT)
+	case OpSTFD:
+		rdG, rdF = g(in.RA), g(in.RT)
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLD, OpSRD, OpMUL, OpDIVD:
+		rdG, wrG = g(in.RA)|g(in.RB), g(in.RT)
+	case OpCMP, OpCMPL:
+		rdG, wrS = g(in.RA)|g(in.RB), 1
+	case OpCMPI:
+		rdG, wrS = g(in.RA), 1
+	case OpB:
+		// no registers
+	case OpBL:
+		wrS = 2
+	case OpBC:
+		rdS = 1
+	case OpBLR:
+		rdS = 2
+	case OpBDNZ:
+		rdS, wrS = 4, 4
+	case OpMTCTR:
+		rdG, wrS = g(in.RA), 4
+	case OpMTLR:
+		rdG, wrS = g(in.RA), 2
+	case OpMFLR:
+		rdS, wrG = 2, g(in.RT)
+	case OpMFCTR:
+		rdS, wrG = 4, g(in.RT)
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV:
+		rdF, wrF = g(in.RA)|g(in.RB), g(in.RT)
+	case OpFMR:
+		rdF, wrF = g(in.RB), g(in.RT)
+	case OpFCMP:
+		rdF, wrS = g(in.RA)|g(in.RB), 1
+	}
+	return rdG, wrG, rdF, wrF, rdS, wrS
+}

@@ -1,0 +1,340 @@
+// Package latch implements the latch database underlying the core model:
+// every micro-architectural state bit is registered here as part of a named
+// latch group with a unit and a latch type (the scan-chain classes of the
+// paper's Figure 5). The SFI framework flips bits through this database, so
+// any injected fault propagates through the model's real next-state logic.
+//
+// Storage is word-aligned per entry for speed; logical bit numbering is
+// dense (one index per real latch bit) so statistical sampling sees exactly
+// the physical latch population.
+package latch
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Type is the scan-chain latch class from the paper: FUNC and REGFILE
+// latches are read-write during normal operation; GPTR and MODE latches are
+// scan-only and hold their values for the whole run.
+type Type int
+
+// Latch types (paper Figure 5).
+const (
+	Func    Type = iota + 1 // pipeline / control latches
+	RegFile                 // register-file latches
+	GPTR                    // general-purpose test register (scan-only)
+	Mode                    // configuration mode latches (scan-only)
+)
+
+func (t Type) String() string {
+	switch t {
+	case Func:
+		return "FUNC"
+	case RegFile:
+		return "REGFILE"
+	case GPTR:
+		return "GPTR"
+	case Mode:
+		return "MODE"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Types lists all latch types in Figure 5 order.
+var Types = []Type{Mode, GPTR, RegFile, Func}
+
+// Group is a named block of latches: Entries entries of Width bits each
+// (a scalar register is one entry). All bits of a group share a unit and a
+// latch type.
+type Group struct {
+	Name    string
+	Unit    string
+	Kind    Type
+	Entries int
+	Width   int
+
+	logOff  int // dense logical bit offset of entry 0 bit 0
+	physOff int // word index of entry 0
+}
+
+// Bits returns the number of latch bits in the group.
+func (g *Group) Bits() int { return g.Entries * g.Width }
+
+// DB is the latch database. Register groups during model construction, then
+// Freeze; injection and snapshotting operate on the frozen database.
+type DB struct {
+	words  []uint64
+	groups []*Group
+	byName map[string]*Group
+	total  int
+	frozen bool
+}
+
+// NewDB returns an empty latch database.
+func NewDB() *DB {
+	return &DB{byName: make(map[string]*Group)}
+}
+
+func mask(width int) uint64 {
+	if width == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(width)) - 1
+}
+
+// Register adds a scalar latch group of width bits and returns its handle.
+func (db *DB) Register(unit string, kind Type, name string, width int) Reg {
+	a := db.RegisterArray(unit, kind, name, 1, width)
+	return a.Entry(0)
+}
+
+// RegisterArray adds a latch group of entries × width bits and returns its
+// handle. Width must be in [1,64].
+func (db *DB) RegisterArray(unit string, kind Type, name string, entries, width int) Array {
+	if db.frozen {
+		panic("latch: register after Freeze")
+	}
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("latch: width %d out of range [1,64] for %s", width, name))
+	}
+	if entries < 1 {
+		panic(fmt.Sprintf("latch: entries %d < 1 for %s", entries, name))
+	}
+	if _, dup := db.byName[name]; dup {
+		panic(fmt.Sprintf("latch: duplicate group %q", name))
+	}
+	g := &Group{
+		Name:    name,
+		Unit:    unit,
+		Kind:    kind,
+		Entries: entries,
+		Width:   width,
+		logOff:  db.total,
+		physOff: len(db.words),
+	}
+	db.groups = append(db.groups, g)
+	db.byName[name] = g
+	db.total += entries * width
+	db.words = append(db.words, make([]uint64, entries)...)
+	return Array{db: db, g: g}
+}
+
+// Freeze finalizes registration. Further Register calls panic.
+func (db *DB) Freeze() { db.frozen = true }
+
+// TotalBits returns the number of latch bits in the database.
+func (db *DB) TotalBits() int { return db.total }
+
+// Groups returns the registered groups in registration order. The caller
+// must not mutate the returned slice.
+func (db *DB) Groups() []*Group { return db.groups }
+
+// GroupByName looks a group up by name.
+func (db *DB) GroupByName(name string) (*Group, bool) {
+	g, ok := db.byName[name]
+	return g, ok
+}
+
+// Locate maps a logical bit index to its group, entry and bit-within-entry.
+func (db *DB) Locate(bit int) (g *Group, entry, bitInEntry int) {
+	if bit < 0 || bit >= db.total {
+		panic(fmt.Sprintf("latch: bit %d out of range [0,%d)", bit, db.total))
+	}
+	// Binary search over group logical offsets.
+	i := sort.Search(len(db.groups), func(i int) bool {
+		return db.groups[i].logOff > bit
+	}) - 1
+	g = db.groups[i]
+	rel := bit - g.logOff
+	return g, rel / g.Width, rel % g.Width
+}
+
+// Peek reads a logical latch bit.
+func (db *DB) Peek(bit int) bool {
+	g, e, b := db.Locate(bit)
+	return db.words[g.physOff+e]&(1<<uint(b)) != 0
+}
+
+// Poke writes a logical latch bit.
+func (db *DB) Poke(bit int, v bool) {
+	g, e, b := db.Locate(bit)
+	if v {
+		db.words[g.physOff+e] |= 1 << uint(b)
+	} else {
+		db.words[g.physOff+e] &^= 1 << uint(b)
+	}
+}
+
+// Flip inverts a logical latch bit and returns the new value. This is the
+// injection primitive ("flip chosen latch bits" in the paper's Figure 1).
+func (db *DB) Flip(bit int) bool {
+	g, e, b := db.Locate(bit)
+	db.words[g.physOff+e] ^= 1 << uint(b)
+	return db.words[g.physOff+e]&(1<<uint(b)) != 0
+}
+
+// Snapshot returns a copy of all latch state (a model checkpoint).
+func (db *DB) Snapshot() []uint64 {
+	s := make([]uint64, len(db.words))
+	copy(s, db.words)
+	return s
+}
+
+// Restore overwrites all latch state from a snapshot taken on the same
+// database shape.
+func (db *DB) Restore(snap []uint64) {
+	if len(snap) != len(db.words) {
+		panic(fmt.Sprintf("latch: snapshot size %d != %d", len(snap), len(db.words)))
+	}
+	copy(db.words, snap)
+}
+
+// Filter selects latch groups (nil selects everything).
+type Filter func(g *Group) bool
+
+// ByUnit returns a Filter selecting one unit.
+func ByUnit(unit string) Filter {
+	return func(g *Group) bool { return g.Unit == unit }
+}
+
+// ByType returns a Filter selecting one latch type.
+func ByType(t Type) Filter {
+	return func(g *Group) bool { return g.Kind == t }
+}
+
+// CountBits returns the number of latch bits matching the filter.
+func (db *DB) CountBits(f Filter) int {
+	n := 0
+	for _, g := range db.groups {
+		if f == nil || f(g) {
+			n += g.Bits()
+		}
+	}
+	return n
+}
+
+// Units returns the distinct unit names in first-registration order.
+func (db *DB) Units() []string {
+	seen := make(map[string]bool)
+	var units []string
+	for _, g := range db.groups {
+		if !seen[g.Unit] {
+			seen[g.Unit] = true
+			units = append(units, g.Unit)
+		}
+	}
+	return units
+}
+
+// SampleBits draws n distinct logical bit indices uniformly from the latch
+// bits matching the filter (the paper's random latch selection). It panics
+// if fewer than n bits match.
+func (db *DB) SampleBits(rng *rand.Rand, n int, f Filter) []int {
+	// Collect matching logical ranges.
+	type span struct{ off, n int }
+	var spans []span
+	total := 0
+	for _, g := range db.groups {
+		if f == nil || f(g) {
+			spans = append(spans, span{g.logOff, g.Bits()})
+			total += g.Bits()
+		}
+	}
+	if n > total {
+		panic(fmt.Sprintf("latch: sample of %d from population of %d", n, total))
+	}
+	// Floyd's algorithm over the virtual concatenation of spans.
+	pick := func(k int) int { // k-th bit of the filtered population
+		for _, s := range spans {
+			if k < s.n {
+				return s.off + k
+			}
+			k -= s.n
+		}
+		panic("unreachable")
+	}
+	chosen := make(map[int]bool, n)
+	out := make([]int, 0, n)
+	for i := total - n; i < total; i++ {
+		k := rng.IntN(i + 1)
+		b := pick(k)
+		if chosen[b] {
+			b = pick(i)
+		}
+		chosen[b] = true
+		out = append(out, b)
+	}
+	return out
+}
+
+// Reg is a handle to one entry of a latch group; all model state access goes
+// through Reg so that injected bit flips are visible to the logic.
+type Reg struct {
+	db  *DB
+	g   *Group
+	idx int
+}
+
+// Get reads the latch value.
+func (r Reg) Get() uint64 {
+	return r.db.words[r.g.physOff+r.idx] & mask(r.g.Width)
+}
+
+// Set writes the latch value (extra high bits are dropped).
+func (r Reg) Set(v uint64) {
+	r.db.words[r.g.physOff+r.idx] = v & mask(r.g.Width)
+}
+
+// GetBit reads one bit of the latch.
+func (r Reg) GetBit(i int) bool { return r.Get()&(1<<uint(i)) != 0 }
+
+// SetBit writes one bit of the latch.
+func (r Reg) SetBit(i int, v bool) {
+	w := r.Get()
+	if v {
+		w |= 1 << uint(i)
+	} else {
+		w &^= 1 << uint(i)
+	}
+	r.Set(w)
+}
+
+// Field reads the width-bit field starting at bit lo.
+func (r Reg) Field(lo, width int) uint64 {
+	return (r.Get() >> uint(lo)) & mask(width)
+}
+
+// SetField writes the width-bit field starting at bit lo.
+func (r Reg) SetField(lo, width int, v uint64) {
+	m := mask(width) << uint(lo)
+	r.Set(r.Get()&^m | (v << uint(lo) & m))
+}
+
+// Width returns the latch width in bits.
+func (r Reg) Width() int { return r.g.Width }
+
+// Group returns the group this handle belongs to.
+func (r Reg) Group() *Group { return r.g }
+
+// Array is a handle to a multi-entry latch group.
+type Array struct {
+	db *DB
+	g  *Group
+}
+
+// Entry returns the handle for entry i.
+func (a Array) Entry(i int) Reg {
+	if i < 0 || i >= a.g.Entries {
+		panic(fmt.Sprintf("latch: entry %d out of range [0,%d) in %s", i, a.g.Entries, a.g.Name))
+	}
+	return Reg{db: a.db, g: a.g, idx: i}
+}
+
+// Len returns the number of entries.
+func (a Array) Len() int { return a.g.Entries }
+
+// Group returns the group this handle belongs to.
+func (a Array) Group() *Group { return a.g }

@@ -1,0 +1,110 @@
+// Package mem provides the flat physical memory shared by the golden
+// architectural simulator and the core model's cache hierarchy. P6LITE runs
+// in real-address mode; addresses wrap modulo the memory size, which must be
+// a power of two.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Memory is a little-endian, byte-addressable flat memory.
+type Memory struct {
+	data []byte
+	mask uint64
+}
+
+// New returns a Memory of size bytes; size must be a power of two ≥ 8.
+func New(size int) *Memory {
+	if size < 8 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("mem: size %d is not a power of two >= 8", size))
+	}
+	return &Memory{data: make([]byte, size), mask: uint64(size - 1)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// index wraps an address into the memory, keeping 8 bytes addressable.
+func (m *Memory) index(addr uint64) uint64 { return addr & m.mask &^ 7 }
+
+// Read64 loads the 8-byte-aligned doubleword containing addr.
+func (m *Memory) Read64(addr uint64) uint64 {
+	i := m.index(addr)
+	return binary.LittleEndian.Uint64(m.data[i : i+8])
+}
+
+// Write64 stores v to the 8-byte-aligned doubleword containing addr.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	i := m.index(addr)
+	binary.LittleEndian.PutUint64(m.data[i:i+8], v)
+}
+
+// Read32 loads the 4-byte-aligned word containing addr.
+func (m *Memory) Read32(addr uint64) uint32 {
+	i := addr & m.mask &^ 3
+	return binary.LittleEndian.Uint32(m.data[i : i+4])
+}
+
+// Write32 stores v to the 4-byte-aligned word containing addr.
+func (m *Memory) Write32(addr uint64, v uint32) {
+	i := addr & m.mask &^ 3
+	binary.LittleEndian.PutUint32(m.data[i:i+4], v)
+}
+
+// LoadProgram writes instruction words starting at addr (4-byte aligned).
+func (m *Memory) LoadProgram(addr uint64, words []uint32) {
+	for i, w := range words {
+		m.Write32(addr+uint64(4*i), w)
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{data: make([]byte, len(m.data)), mask: m.mask}
+	copy(c.data, m.data)
+	return c
+}
+
+// CopyFrom overwrites contents from src; sizes must match.
+func (m *Memory) CopyFrom(src *Memory) {
+	if len(m.data) != len(src.data) {
+		panic(fmt.Sprintf("mem: copy size mismatch %d != %d", len(m.data), len(src.data)))
+	}
+	copy(m.data, src.data)
+}
+
+// Equal reports whether two memories have identical size and contents.
+func (m *Memory) Equal(o *Memory) bool {
+	if len(m.data) != len(o.data) {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Digest returns a 64-bit FNV-1a hash of the contents, used by the AVP to
+// compare final memory state against the golden model cheaply.
+func (m *Memory) Digest() uint64 {
+	h := fnv.New64a()
+	h.Write(m.data)
+	return h.Sum64()
+}
+
+// DigestRange hashes the bytes in [lo, hi) after wrapping, used to check
+// just a testcase's data area.
+func (m *Memory) DigestRange(lo, hi uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for a := lo &^ 7; a < hi; a += 8 {
+		binary.LittleEndian.PutUint64(b[:], m.Read64(a))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}

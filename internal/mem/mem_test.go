@@ -1,0 +1,138 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	for _, size := range []int{0, 7, 100, -8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", size)
+				}
+			}()
+			New(size)
+		}()
+	}
+}
+
+func TestReadWrite64(t *testing.T) {
+	m := New(1024)
+	m.Write64(8, 0xdeadbeefcafef00d)
+	if got := m.Read64(8); got != 0xdeadbeefcafef00d {
+		t.Errorf("Read64 = %#x", got)
+	}
+	// Unaligned access hits the containing doubleword.
+	if got := m.Read64(13); got != 0xdeadbeefcafef00d {
+		t.Errorf("unaligned Read64 = %#x", got)
+	}
+}
+
+func TestReadWrite32(t *testing.T) {
+	m := New(1024)
+	m.Write32(4, 0x12345678)
+	if got := m.Read32(4); got != 0x12345678 {
+		t.Errorf("Read32 = %#x", got)
+	}
+	if got := m.Read32(6); got != 0x12345678 {
+		t.Errorf("unaligned Read32 = %#x", got)
+	}
+	// The two word halves of a doubleword are independent.
+	m.Write32(0, 0xaaaaaaaa)
+	if got := m.Read32(4); got != 0x12345678 {
+		t.Errorf("adjacent Write32 clobbered word: %#x", got)
+	}
+}
+
+func TestAddressWrap(t *testing.T) {
+	m := New(256)
+	m.Write64(256, 42) // wraps to 0
+	if got := m.Read64(0); got != 42 {
+		t.Errorf("wrapped write missed: %d", got)
+	}
+	if got := m.Read64(512); got != 42 {
+		t.Errorf("wrapped read missed: %d", got)
+	}
+}
+
+func TestLoadProgram(t *testing.T) {
+	m := New(1024)
+	m.LoadProgram(64, []uint32{1, 2, 3})
+	for i, want := range []uint32{1, 2, 3} {
+		if got := m.Read32(64 + uint64(4*i)); got != want {
+			t.Errorf("word %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestCloneEqualCopyFrom(t *testing.T) {
+	m := New(512)
+	m.Write64(0, 99)
+	c := m.Clone()
+	if !c.Equal(m) {
+		t.Fatal("clone not equal")
+	}
+	c.Write64(8, 1)
+	if m.Read64(8) != 0 {
+		t.Fatal("clone mutation visible in original")
+	}
+	if c.Equal(m) {
+		t.Fatal("diverged memories reported equal")
+	}
+	m.CopyFrom(c)
+	if !c.Equal(m) {
+		t.Fatal("CopyFrom did not converge")
+	}
+	if New(256).Equal(m) {
+		t.Fatal("different sizes reported equal")
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	m := New(512)
+	d0 := m.Digest()
+	m.Write64(128, 1)
+	if m.Digest() == d0 {
+		t.Error("digest unchanged by write")
+	}
+}
+
+func TestDigestRange(t *testing.T) {
+	m := New(512)
+	m.Write64(64, 7)
+	d := m.DigestRange(0, 64)
+	m.Write64(64, 8) // outside [0,64)
+	if m.DigestRange(0, 64) != d {
+		t.Error("digest over [0,64) changed by write at 64")
+	}
+	m.Write64(0, 1)
+	if m.DigestRange(0, 64) == d {
+		t.Error("digest over [0,64) unchanged by write at 0")
+	}
+}
+
+func TestQuickRead64RoundTrip(t *testing.T) {
+	m := New(4096)
+	f := func(addr, v uint64) bool {
+		m.Write64(addr, v)
+		return m.Read64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWrite32Halves(t *testing.T) {
+	m := New(4096)
+	f := func(addr uint64, lo, hi uint32) bool {
+		a := addr &^ 7
+		m.Write32(a, lo)
+		m.Write32(a+4, hi)
+		return m.Read64(a) == uint64(hi)<<32|uint64(lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

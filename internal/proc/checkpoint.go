@@ -1,0 +1,57 @@
+package proc
+
+import (
+	"sfi/internal/bits"
+	"sfi/internal/mem"
+)
+
+// ModelCheckpoint is a full snapshot of the machine — latches, protected
+// arrays, memory and run counters. The emulation engine saves one after
+// warm-up and reloads it before every injection, exactly as the paper's
+// flow does ("after the fault injection has completed, the model is
+// reloaded from a checkpoint").
+type ModelCheckpoint struct {
+	latches    []uint64
+	arrays     [][]bits.ECCWord
+	memory     *mem.Memory
+	cycle      uint64
+	completed  uint64
+	recoveries uint64
+	halted     bool
+}
+
+// SaveCheckpoint captures the complete model state.
+func (c *Core) SaveCheckpoint() *ModelCheckpoint {
+	ck := &ModelCheckpoint{
+		latches:    c.db.Snapshot(),
+		memory:     c.mem.Clone(),
+		cycle:      c.Cycle,
+		completed:  c.Completed,
+		recoveries: c.Recoveries,
+		halted:     c.halted,
+	}
+	for _, p := range c.arrays {
+		ck.arrays = append(ck.arrays, p.Snapshot())
+	}
+	return ck
+}
+
+// RestoreCheckpoint reloads the model from a checkpoint taken on the same
+// configuration, clearing error counters and capture state.
+func (c *Core) RestoreCheckpoint(ck *ModelCheckpoint) {
+	c.db.Restore(ck.latches)
+	c.mem.CopyFrom(ck.memory)
+	for i, p := range c.arrays {
+		p.Restore(ck.arrays[i])
+		p.ResetCounters()
+	}
+	c.Cycle = ck.cycle
+	c.Completed = ck.completed
+	c.Recoveries = ck.recoveries
+	c.halted = ck.halted
+	c.pendErr = c.pendErr[:0]
+	c.prv.firstErrSeen = false
+	for _, ch := range c.checkers {
+		ch.Fired = 0
+	}
+}

@@ -1,0 +1,411 @@
+package proc
+
+import (
+	"testing"
+
+	"sfi/internal/isa"
+	"sfi/internal/latch"
+)
+
+// loopProgram is a small endless workload: it keeps completing instructions
+// so hang detection and recovery behaviour can be observed.
+const loopProgram = `
+	addi r1, r0, 1
+	addi r9, r0, 0x4000
+start:
+	addi r2, r2, 3
+	std  r2, 0(r9)
+	ld   r3, 0(r9)
+	add  r4, r2, r3
+	cmp  r2, r3
+	b    start
+`
+
+func newLoopedCore(t *testing.T) *Core {
+	t.Helper()
+	c := New(DefaultConfig())
+	c.Mem().LoadProgram(0, isa.MustAssemble(loopProgram))
+	// Warm up out of the cold-start misses.
+	for i := 0; i < 500; i++ {
+		c.Step()
+	}
+	if c.Completed == 0 || c.Checkstopped() {
+		t.Fatal("warm-up failed")
+	}
+	return c
+}
+
+func run(c *Core, n int) {
+	for i := 0; i < n; i++ {
+		c.Step()
+		if c.Checkstopped() {
+			return
+		}
+	}
+}
+
+// flipGroupBit flips bit b of entry e in a named latch group.
+func flipGroupBit(t *testing.T, c *Core, group string, e, b int) {
+	t.Helper()
+	g, ok := c.DB().GroupByName(group)
+	if !ok {
+		t.Fatalf("no latch group %q", group)
+	}
+	bit := groupLogicalBit(c.DB(), g, e, b)
+	c.DB().Flip(bit)
+}
+
+// groupLogicalBit computes the database bit index of (entry, bit) in g.
+func groupLogicalBit(db *latch.DB, g *latch.Group, e, b int) int {
+	// Probe: scan the group's logical range for the matching location.
+	for bit := 0; bit < db.TotalBits(); bit++ {
+		gg, ee, bb := db.Locate(bit)
+		if gg == g && ee == e && bb == b {
+			return bit
+		}
+	}
+	panic("bit not found")
+}
+
+func TestGPRFlipRecoversOnRead(t *testing.T) {
+	c := newLoopedCore(t)
+	// r2 is read every loop iteration: flip a bit in it.
+	flipGroupBit(t, c, "fxu.gpr", 2, 17)
+	run(c, 2000)
+	if c.Checkstopped() {
+		t.Fatal("checkstopped instead of recovering")
+	}
+	if c.Recoveries == 0 {
+		t.Fatal("no recovery after GPR corruption")
+	}
+	if !c.FIRBit(ChkFXUGPRPar) {
+		t.Error("GPR parity FIR bit not set")
+	}
+	id, _, ok := c.FirstError()
+	if !ok || id != ChkFXUGPRPar {
+		t.Errorf("first error = %d,%v, want gpr parity", id, ok)
+	}
+}
+
+func TestGPRFlipInUnusedRegisterVanishes(t *testing.T) {
+	c := newLoopedCore(t)
+	// r20 is never touched by the loop.
+	flipGroupBit(t, c, "fxu.gpr", 20, 5)
+	run(c, 2000)
+	if c.Recoveries != 0 || c.Checkstopped() || c.AnyFIR() {
+		t.Error("flip in an unused register had machine-visible effects")
+	}
+}
+
+func TestSTQStaleEntryFlipVanishes(t *testing.T) {
+	c := newLoopedCore(t)
+	// Entry 20 of the store queue is never reached by this short loop's
+	// single in-flight store (head cycles 0..23 slowly; give an invalid
+	// entry's data latch a flip: it is not covered while invalid).
+	g, _ := c.DB().GroupByName("lsu.stq.ctl")
+	_ = g
+	flipGroupBit(t, c, "lsu.stq.data", (int(c.lsu.stqTail.Get())+5)%stqEntries, 33)
+	run(c, 500)
+	if c.Recoveries != 0 || c.Checkstopped() {
+		t.Error("flip in invalid STQ entry had machine-visible effects")
+	}
+}
+
+func TestSTQValidEntryFlipCaughtByContinuousChecker(t *testing.T) {
+	c := newLoopedCore(t)
+	// Force a stale-but-valid situation: set valid+dup on an unused entry
+	// with consistent parity, then flip its data. The continuous checker
+	// must catch it even though the entry would never drain.
+	e := (int(c.lsu.stqTail.Get()) + 7) % stqEntries
+	pol := c.polarity(c.lsu.mode, 1)
+	c.lsu.stqAddr.Entry(e).Set(0x4000)
+	c.lsu.stqData.Entry(e).Set(99)
+	c.lsu.stqParA.Entry(e).Set(parity64(0x4000) ^ pol)
+	c.lsu.stqParD.Entry(e).Set(parity64(99) ^ pol)
+	c.lsu.stqCtl.Entry(e).Set(3)
+	// The harness-forced entry is consistent; now corrupt it.
+	flipGroupBit(t, c, "lsu.stq.data", e, 12)
+	run(c, 200)
+	if !c.FIRBit(ChkLSUSTQPar) {
+		t.Error("continuous STQ checker did not fire")
+	}
+}
+
+func TestERATFlipRecoversViaContinuousChecker(t *testing.T) {
+	c := newLoopedCore(t)
+	// Find a valid ERAT entry and corrupt its PPN.
+	found := -1
+	for i := 0; i < eratSize; i++ {
+		if c.lsu.eratCtl.Entry(i).Get()&1 != 0 {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		t.Fatal("no valid ERAT entry after warm-up")
+	}
+	flipGroupBit(t, c, "lsu.erat.ppn", found, 3)
+	run(c, 2000)
+	if c.Recoveries == 0 {
+		t.Fatal("ERAT corruption not recovered")
+	}
+	if !c.FIRBit(ChkLSUERATPar) {
+		t.Error("ERAT FIR bit not set")
+	}
+}
+
+func TestBHTFlipVanishes(t *testing.T) {
+	c := newLoopedCore(t)
+	before := c.Completed
+	for i := 0; i < 32; i++ {
+		flipGroupBit(t, c, "ifu.bht", i*7%bhtEntries, i%2)
+	}
+	run(c, 2000)
+	if c.Recoveries != 0 || c.Checkstopped() || c.AnyFIR() {
+		t.Error("BHT corruption had machine-visible effects")
+	}
+	if c.Completed == before {
+		t.Error("machine stopped completing after BHT flips")
+	}
+}
+
+func TestModeCriticalFlipHangs(t *testing.T) {
+	c := newLoopedCore(t)
+	// Flip a bit in the IFU MODE critical segment: fetch freezes and the
+	// watchdog eventually declares a hang (recovery cannot clean scan
+	// state, so the hang persists).
+	flipGroupBit(t, c, "ifu.mode", 0, modeCriticalLo+2)
+	run(c, 3*DefaultConfig().HangLimit+1000)
+	if c.Checkstopped() {
+		t.Fatal("expected hang, got checkstop")
+	}
+	if !c.HangDetected() {
+		t.Error("core hang not detected after freezing the IFU")
+	}
+}
+
+func TestModeIntegrityFlipCheckstops(t *testing.T) {
+	c := newLoopedCore(t)
+	flipGroupBit(t, c, "lsu.mode", 0, modeIntegrityLo+5)
+	run(c, 100)
+	if !c.Checkstopped() {
+		t.Fatal("ring integrity corruption did not checkstop")
+	}
+	if !c.FIRBit(ChkRingLSU) {
+		t.Error("ring FIR bit not set")
+	}
+}
+
+func TestModePolarityFlipIsOneShotRecovery(t *testing.T) {
+	c := newLoopedCore(t)
+	// Flip the FXU GPR parity polarity bit: every register read looks
+	// corrupt until the restore rewrites parity under the new polarity.
+	flipGroupBit(t, c, "fxu.mode", 0, modePolarityLo)
+	run(c, 3000)
+	if c.Checkstopped() {
+		t.Fatal("polarity flip escalated to checkstop")
+	}
+	if c.Recoveries == 0 {
+		t.Fatal("polarity flip did not trigger recovery")
+	}
+	recov := c.Recoveries
+	before := c.Completed
+	run(c, 2000)
+	if c.Recoveries != recov {
+		t.Errorf("recoveries kept occurring after polarity resync (%d -> %d)",
+			recov, c.Recoveries)
+	}
+	if c.Completed <= before {
+		t.Error("machine did not resume completing after polarity recovery")
+	}
+}
+
+func TestGPTREngageFlipHangs(t *testing.T) {
+	c := newLoopedCore(t)
+	flipGroupBit(t, c, "idu.gptr", 0, gptrEngageLo+1)
+	run(c, 3*DefaultConfig().HangLimit+1000)
+	if !c.HangDetected() && !c.Checkstopped() {
+		t.Error("GPTR test-engage flip did not stop the core")
+	}
+}
+
+func TestRecoveryDisabledEscalatesToCheckstop(t *testing.T) {
+	c := newLoopedCore(t)
+	c.SetRecoveryEnabled(false)
+	flipGroupBit(t, c, "fxu.gpr", 2, 9)
+	run(c, 2000)
+	if !c.Checkstopped() {
+		t.Error("recoverable error with RUT disabled did not checkstop")
+	}
+	if c.Recoveries != 0 {
+		t.Error("recovery ran while disabled")
+	}
+}
+
+func TestCheckersMaskedNoRecovery(t *testing.T) {
+	c := newLoopedCore(t)
+	c.SetCheckersEnabled(false)
+	flipGroupBit(t, c, "fxu.gpr", 2, 9)
+	run(c, 2000)
+	if c.Recoveries != 0 || c.Checkstopped() {
+		t.Error("masked checkers still acted on an error")
+	}
+	// The checker saw the error even though it was masked.
+	if c.CheckerByID(ChkFXUGPRPar).Fired == 0 {
+		t.Error("masked checker did not observe the error")
+	}
+}
+
+func TestFIRCorruptionCheckstops(t *testing.T) {
+	c := newLoopedCore(t)
+	flipGroupBit(t, c, "prv.fir", 0, 40)
+	run(c, 50)
+	if !c.Checkstopped() {
+		t.Error("FIR corruption did not checkstop")
+	}
+}
+
+func TestRUTFSMCorruptionCheckstops(t *testing.T) {
+	c := newLoopedCore(t)
+	flipGroupBit(t, c, "rut.fsm", 0, 5) // second bit set: not one-hot
+	run(c, 50)
+	if !c.Checkstopped() {
+		t.Error("recovery FSM corruption did not checkstop")
+	}
+	if !c.FIRBit(ChkRUTFSM) {
+		t.Error("RUT FSM FIR bit not set")
+	}
+}
+
+func TestCheckpointArrayStrikeIsCorrected(t *testing.T) {
+	c := newLoopedCore(t)
+	// Entry 20 (r20's checkpoint) is never rewritten by the loop, so only
+	// the background scrubber can heal it.
+	c.rut.ckptGPR.FlipBit(20, 11)
+	run(c, 4000)
+	if c.Checkstopped() {
+		t.Fatal("single checkpoint bit flip checkstopped")
+	}
+	if c.rut.ckptGPR.Corrected == 0 {
+		t.Error("checkpoint strike not scrubbed/corrected")
+	}
+}
+
+func TestRecoveryRestoresArchitectedState(t *testing.T) {
+	c := newLoopedCore(t)
+	goldenR4 := c.fxu.gpr.Entry(4).Get()
+	_ = goldenR4
+	// Corrupt a live register, let recovery run, then confirm the machine
+	// still produces consistent results (r3 == r2 after each iteration's
+	// store+load round trip implies state was repaired).
+	flipGroupBit(t, c, "fxu.gpr", 2, 44)
+	run(c, 3000)
+	if c.Checkstopped() || c.Recoveries == 0 {
+		t.Fatal("expected a clean recovery")
+	}
+	run(c, 500)
+	r2 := c.fxu.gpr.Entry(2).Get()
+	r3 := c.fxu.gpr.Entry(3).Get()
+	if r2 != r3 && r3 != 0 {
+		// r3 lags r2 by at most one iteration; allow r3 == r2-3 as well.
+		if r3 != r2-3 {
+			t.Errorf("post-recovery state inconsistent: r2=%d r3=%d", r2, r3)
+		}
+	}
+}
+
+func TestWatchdogHangRecoveryOnStuckMissFSM(t *testing.T) {
+	c := newLoopedCore(t)
+	// Invalidate the loop's data line so the next load misses, then
+	// corrupt the miss FSM to an undefined state: the refill never
+	// completes, the load is stuck in EX, completion stops, and the
+	// watchdog's hang recovery must flush the FSM and restore progress.
+	c.lsu.dcTag.Write(lineIndex(0x4000, dcLines), 0)
+	for i := 0; i < 200 && c.lsu.dcFSM.Get() != dcRefill; i++ {
+		c.Step()
+	}
+	if c.lsu.dcFSM.Get() != dcRefill {
+		t.Fatal("could not provoke a dcache refill")
+	}
+	c.lsu.dcFSM.Set(3) // undefined FSM state
+	before := c.Completed
+	run(c, 3*DefaultConfig().HangLimit)
+	if c.Checkstopped() {
+		t.Fatal("stuck EX escalated to checkstop")
+	}
+	if c.HangDetected() {
+		t.Fatal("hang recovery failed to restore progress")
+	}
+	if c.Completed <= before {
+		t.Error("no forward progress after hang recovery")
+	}
+	if !c.FIRBit(ChkPRVWatchdog) {
+		t.Error("watchdog FIR bit not set")
+	}
+}
+
+func TestCheckerMaskModeBitFlipIsBenign(t *testing.T) {
+	c := newLoopedCore(t)
+	// Flipping a checker-enable MODE bit disables one checker: with no
+	// error present this has no machine-visible effect.
+	flipGroupBit(t, c, "prv.mode.checker", 0, ChkFXUResidue)
+	run(c, 1000)
+	if c.Recoveries != 0 || c.Checkstopped() || c.AnyFIR() {
+		t.Error("checker-mask flip had machine-visible effects")
+	}
+}
+
+func TestTraceArrayFlipVanishes(t *testing.T) {
+	c := newLoopedCore(t)
+	for i := 0; i < 20; i++ {
+		flipGroupBit(t, c, "prv.trace", i, i)
+	}
+	run(c, 1000)
+	if c.Recoveries != 0 || c.Checkstopped() || c.AnyFIR() {
+		t.Error("debug trace corruption had machine-visible effects")
+	}
+}
+
+func TestStickyRecurringErrorEscalates(t *testing.T) {
+	c := newLoopedCore(t)
+	// Emulate a stuck-at-1 fault on bit 17 of r2: the loop keeps r2 small,
+	// so the forced bit is always wrong, re-corrupting the register after
+	// every restore before any instruction can complete.
+	g, _ := c.DB().GroupByName("fxu.gpr")
+	bit := groupLogicalBit(c.DB(), g, 2, 17)
+	for i := 0; i < 20000 && !c.Checkstopped(); i++ {
+		c.DB().Poke(bit, true)
+		c.Step()
+	}
+	// A permanently recurring error without forward progress must not
+	// loop forever: the retry threshold checkstops.
+	if !c.Checkstopped() {
+		t.Error("permanently faulty latch did not escalate to checkstop")
+	}
+}
+
+func TestLatchPopulationShape(t *testing.T) {
+	c := New(DefaultConfig())
+	db := c.DB()
+	total := db.TotalBits()
+	if total < 20000 || total > 120000 {
+		t.Errorf("latch population %d outside expected band", total)
+	}
+	// LSU must be the largest unit, as in the paper.
+	counts := make(map[string]int)
+	for _, u := range Units {
+		counts[u] = db.CountBits(latch.ByUnit(u))
+	}
+	for _, u := range Units {
+		if u != UnitLSU && counts[u] > counts[UnitLSU] {
+			t.Errorf("unit %s (%d bits) larger than LSU (%d bits)",
+				u, counts[u], counts[UnitLSU])
+		}
+	}
+	// All four latch types must be represented.
+	for _, ty := range latch.Types {
+		if db.CountBits(latch.ByType(ty)) == 0 {
+			t.Errorf("no latches of type %v", ty)
+		}
+	}
+}

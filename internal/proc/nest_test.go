@@ -1,0 +1,223 @@
+package proc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sfi/internal/archsim"
+	"sfi/internal/isa"
+	"sfi/internal/latch"
+	"sfi/internal/mem"
+)
+
+func nestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.EnableNest = true
+	return cfg
+}
+
+func newNestLoopedCore(t *testing.T) *Core {
+	t.Helper()
+	c := New(nestConfig())
+	c.Mem().LoadProgram(0, isa.MustAssemble(loopProgram))
+	for i := 0; i < 1500; i++ {
+		c.Step()
+	}
+	if c.Completed == 0 || c.Checkstopped() {
+		t.Fatal("warm-up failed")
+	}
+	return c
+}
+
+func TestNestDifferentialAgainstGolden(t *testing.T) {
+	// The L2 path must not change architected behaviour: re-run the
+	// random differential with the periphery enabled.
+	words := isa.MustAssemble(`
+		addi r1, r0, 0x4000
+		addi r2, r0, 777
+		std  r2, 0(r1)
+		ld   r3, 0(r1)
+		addi r4, r0, 100
+		mtctr r4
+	loop:
+		addi r5, r5, 1
+		std  r5, 8(r1)
+		ld   r6, 8(r1)
+		bdnz loop
+		testend
+		halt
+	`)
+	c := New(nestConfig())
+	c.Mem().LoadProgram(0, words)
+	for i := 0; i < 200000 && !c.Halted(); i++ {
+		c.Step()
+		if c.Checkstopped() {
+			t.Fatal("checkstop on fault-free nest run")
+		}
+	}
+	if !c.Halted() {
+		t.Fatal("did not halt")
+	}
+	st := c.ArchState()
+	if st.GPR[3] != 777 || st.GPR[5] != 100 || st.GPR[6] != 100 {
+		t.Errorf("wrong results through the L2 path: r3=%d r5=%d r6=%d",
+			st.GPR[3], st.GPR[5], st.GPR[6])
+	}
+	if c.Recoveries != 0 || c.AnyFIR() {
+		t.Error("fault-free nest run had error activity")
+	}
+}
+
+func TestNestAddsLatchesAndArrays(t *testing.T) {
+	plain := New(DefaultConfig())
+	nest := New(nestConfig())
+	if nest.DB().TotalBits() <= plain.DB().TotalBits() {
+		t.Error("nest added no latches")
+	}
+	if nest.DB().CountBits(latch.ByUnit(UnitNEST)) == 0 {
+		t.Error("no NEST-unit latches")
+	}
+	if len(nest.Arrays()) != len(plain.Arrays())+2 {
+		t.Errorf("nest arrays = %d, want +2", len(nest.Arrays()))
+	}
+	// Plain cores must not expose NEST latches.
+	if plain.DB().CountBits(latch.ByUnit(UnitNEST)) != 0 {
+		t.Error("plain core has NEST latches")
+	}
+}
+
+func TestNestL2HitIsFasterThanMemory(t *testing.T) {
+	c := New(nestConfig())
+	// First touch: L2 miss (installs), cost MissPenalty+NestPenalty.
+	lat1 := c.nestMissLatency(0x8000, false)
+	// Second touch of the same line: L2 hit.
+	lat2 := c.nestMissLatency(0x8000, false)
+	if lat1 != uint64(c.cfg.MissPenalty+c.cfg.NestPenalty) {
+		t.Errorf("cold miss latency %d", lat1)
+	}
+	if lat2 != uint64(c.cfg.MissPenalty) {
+		t.Errorf("L2 hit latency %d", lat2)
+	}
+}
+
+func TestNestRQFlipCaughtByContinuousChecker(t *testing.T) {
+	c := newNestLoopedCore(t)
+	// Plant a valid, consistent request entry, then corrupt its address.
+	c.nestAllocRQ(0x4000, false)
+	i := (int(c.nest.rqPtr.Get()) + rqEntries - 1) % rqEntries
+	flipGroupBit(t, c, "nest.rq.addr", i, 9)
+	run(c, 200)
+	if !c.FIRBit(ChkNESTRQPar) {
+		t.Error("request-queue corruption not caught")
+	}
+	if c.Checkstopped() {
+		t.Error("recoverable periphery error checkstopped")
+	}
+}
+
+func TestNestL2StrikeCorrectedByScrubOrUse(t *testing.T) {
+	c := newNestLoopedCore(t)
+	c.nest.l2Data.FlipBit(5, 17)
+	before := c.nest.l2Data.Corrected
+	run(c, 80000)
+	if c.nest.l2Data.Corrected == before {
+		t.Error("L2 single-bit strike never corrected")
+	}
+	if c.Checkstopped() {
+		t.Error("L2 strike escalated")
+	}
+}
+
+func TestNestL2DoubleStrikeLineDeleted(t *testing.T) {
+	c := newNestLoopedCore(t)
+	// Double strike in one L2 data word: uncorrectable, must be handled
+	// by line delete (recoverable), never checkstop.
+	c.nest.l2Data.FlipBit(9, 3)
+	c.nest.l2Data.FlipBit(9, 44)
+	run(c, 80000)
+	if c.Checkstopped() {
+		t.Fatal("L2 UE checkstopped; line delete expected")
+	}
+	if !c.FIRBit(ChkNESTL2UE) && c.nest.l2Data.Uncorrectable == 0 {
+		t.Error("L2 UE never observed")
+	}
+}
+
+func TestNestRingIntegrityCheckstops(t *testing.T) {
+	c := newNestLoopedCore(t)
+	flipGroupBit(t, c, "nest.mode", 0, modeIntegrityLo+2)
+	run(c, 100)
+	if !c.Checkstopped() {
+		t.Fatal("NEST ring corruption did not checkstop")
+	}
+	if !c.FIRBit(ChkRingNEST) {
+		t.Error("NEST ring FIR bit not set")
+	}
+}
+
+func TestNestFrozenPeripheryHangs(t *testing.T) {
+	c := newNestLoopedCore(t)
+	// Freeze the periphery via its MODE critical segment, then force the
+	// next data access to miss all the way out: the request can never be
+	// serviced and the watchdog must eventually declare a hang.
+	flipGroupBit(t, c, "nest.mode", 0, modeCriticalLo+1)
+	c.lsu.dcTag.Write(lineIndex(0x4000, dcLines), 0)
+	c.nest.l2Tag.Write(lineIndex(0x4000, l2Lines), 0)
+	run(c, 10*DefaultConfig().HangLimit)
+	if !c.HangDetected() && !c.Checkstopped() {
+		t.Error("frozen periphery did not stop the core")
+	}
+}
+
+func TestNestCheckpointRestoreCoversNest(t *testing.T) {
+	c := newNestLoopedCore(t)
+	ck := c.SaveCheckpoint()
+	flipGroupBit(t, c, "nest.rq.addr", 2, 5)
+	c.nest.l2Data.FlipBit(3, 3)
+	c.RestoreCheckpoint(ck)
+	run(c, 3000)
+	if c.Checkstopped() || c.Recoveries != 0 {
+		t.Error("restore did not clean periphery corruption")
+	}
+}
+
+// TestNestRandomDifferential re-runs the random ISA-wide differential with
+// the periphery enabled: the L2 path must be architecturally transparent.
+func TestNestRandomDifferential(t *testing.T) {
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 123))
+		words := genRandomProgram(rng, 50)
+
+		g := archsim.New(mem.New(DefaultConfig().MemBytes))
+		g.Mem.LoadProgram(0, words)
+		for i := 0; i < 200000 && !g.Halted; i++ {
+			g.Step()
+		}
+		if !g.Halted {
+			t.Fatal("golden did not halt")
+		}
+
+		c := New(nestConfig())
+		c.Mem().LoadProgram(0, words)
+		for i := 0; i < 400000 && !c.Halted(); i++ {
+			c.Step()
+			if c.Checkstopped() {
+				t.Fatal("nest core checkstopped on fault-free run")
+			}
+		}
+		if !c.Halted() {
+			t.Fatal("nest core did not halt")
+		}
+		st := c.ArchState()
+		if st.Signature() != g.State.Signature() {
+			t.Fatalf("trial %d: architected state diverged through the L2 path", trial)
+		}
+		if !c.Mem().Equal(g.Mem) {
+			t.Fatalf("trial %d: memory diverged through the L2 path", trial)
+		}
+	}
+}

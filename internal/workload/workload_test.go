@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+
+	"sfi/internal/isa"
+)
+
+func TestComponentsMatchPublishedBounds(t *testing.T) {
+	comps := Components()
+	if len(comps) != 11 {
+		t.Fatalf("got %d components, want 11", len(comps))
+	}
+	// Paper Table 1 bounds (fractions).
+	bounds := map[isa.Class][3]float64{ // low, high, average
+		isa.ClassLoad:   {0.189, 0.356, 0.278},
+		isa.ClassStore:  {0.064, 0.317, 0.141},
+		isa.ClassFixed:  {0.062, 0.359, 0.222},
+		isa.ClassFloat:  {0.0, 0.091, 0.012},
+		isa.ClassCmp:    {0.048, 0.151, 0.088},
+		isa.ClassBranch: {0.069, 0.288, 0.154},
+	}
+	for cls, b := range bounds {
+		lo, hi, sum := 2.0, -1.0, 0.0
+		for _, comp := range comps {
+			v := comp.Target[cls]
+			sum += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		avg := sum / float64(len(comps))
+		if diff := lo - b[0]; diff > 0.005 || diff < -0.005 {
+			t.Errorf("%v low = %.3f, paper %.3f", cls, lo, b[0])
+		}
+		if diff := hi - b[1]; diff > 0.005 || diff < -0.005 {
+			t.Errorf("%v high = %.3f, paper %.3f", cls, hi, b[1])
+		}
+		if diff := avg - b[2]; diff > 0.02 || diff < -0.02 {
+			t.Errorf("%v average = %.3f, paper %.3f", cls, avg, b[2])
+		}
+	}
+}
+
+func TestMeasureConvergesToTarget(t *testing.T) {
+	comp := Components()[0] // gzip
+	m, err := Measure(comp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range isa.Classes {
+		got := m.Mix[cls]
+		want := comp.Target[cls]
+		if diff := got - want; diff > 0.06 || diff < -0.06 {
+			t.Errorf("%v mix = %.3f, target %.3f (off by > 6 points)", cls, got, want)
+		}
+	}
+	if m.CPI < 1 || m.CPI > 15 {
+		t.Errorf("CPI = %.2f out of sane range", m.CPI)
+	}
+}
+
+func TestMeasureFPComponent(t *testing.T) {
+	// vpr has a floating-point component; the stream must contain FP.
+	m, err := Measure(Components()[1], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mix[isa.ClassFloat] <= 0 {
+		t.Error("vpr profile has no floating point instructions")
+	}
+}
+
+func TestBuildTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 build is slow")
+	}
+	tbl, err := BuildTable1(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(isa.Classes) {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r.Low > r.Avg || r.Avg > r.High {
+			t.Errorf("%v: low %.3f avg %.3f high %.3f not ordered", r.Class, r.Low, r.Avg, r.High)
+		}
+		// The paper's conclusion: the AVP fits within the SPECInt bounds
+		// (allow a small tolerance for the synthetic stream).
+		if r.AVP > r.High+0.06 || (r.AVP < r.Low-0.06 && r.AVP > 0.001) {
+			t.Errorf("%v: AVP %.3f outside [%.3f, %.3f]", r.Class, r.AVP, r.Low, r.High)
+		}
+	}
+	if tbl.CPIAVP < tbl.CPILow-1.5 || tbl.CPIAVP > tbl.CPIHigh+1.5 {
+		t.Errorf("AVP CPI %.2f far outside component band [%.2f, %.2f]",
+			tbl.CPIAVP, tbl.CPILow, tbl.CPIHigh)
+	}
+	if tbl.String() == "" {
+		t.Error("empty table rendering")
+	}
+}

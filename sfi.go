@@ -1,0 +1,137 @@
+// Package sfi is the public API of the Statistical Fault Injection (SFI)
+// library, a from-scratch reproduction of "Statistical Fault Injection"
+// (Ramachandran, Kudva, Kellington, Schumann, Sanda — DSN 2008).
+//
+// The library contains a latch-accurate POWER6-style core model with a full
+// RAS stack (hardware checkers, recovery unit, checkstop escalation, fault
+// isolation registers), an emulation engine with checkpoint/reload and
+// fault-injection ports, a pseudo-random verification workload (AVP) with
+// golden signatures, a beam-experiment simulation for calibration, and the
+// SFI campaign framework itself: statistical sampling of latch populations,
+// targeted injection, outcome classification and cause-effect tracing.
+//
+// Quick start:
+//
+//	cfg := sfi.DefaultCampaignConfig()
+//	cfg.Flips = 1000
+//	report, err := sfi.RunCampaign(cfg)
+//	...
+//	fmt.Println(report)
+package sfi
+
+import (
+	"sfi/internal/beam"
+	"sfi/internal/core"
+	"sfi/internal/emu"
+	"sfi/internal/latch"
+	"sfi/internal/proc"
+	"sfi/internal/workload"
+)
+
+// Re-exported campaign types: see the core package for full documentation.
+type (
+	// CampaignConfig describes a statistical fault-injection campaign.
+	CampaignConfig = core.CampaignConfig
+	// RunnerConfig parameterizes a single-model injection runner.
+	RunnerConfig = core.RunnerConfig
+	// Runner owns one warmed, checkpointed model for repeated injections.
+	Runner = core.Runner
+	// Report aggregates campaign outcomes.
+	Report = core.Report
+	// Result is one injection's classified destiny with its trace.
+	Result = core.Result
+	// Outcome is the destiny category of an injected bit flip.
+	Outcome = core.Outcome
+
+	// BeamConfig parameterizes a simulated proton-beam experiment.
+	BeamConfig = beam.Config
+	// BeamReport summarizes a beam run.
+	BeamReport = beam.Report
+
+	// LatchFilter selects part of the latch population for targeted
+	// injection.
+	LatchFilter = latch.Filter
+	// LatchType is the scan-chain class of a latch (FUNC, REGFILE, GPTR,
+	// MODE).
+	LatchType = latch.Type
+
+	// InjectionMode is toggle or sticky.
+	InjectionMode = emu.Mode
+)
+
+// Outcome categories (the paper's Figure 1 vocabulary).
+const (
+	Vanished  = core.Vanished
+	Corrected = core.Corrected
+	Hang      = core.Hang
+	Checkstop = core.Checkstop
+	SDC       = core.SDC
+)
+
+// Injection modes.
+const (
+	Toggle = emu.Toggle
+	Sticky = emu.Sticky
+)
+
+// Latch types.
+const (
+	LatchFunc    = latch.Func
+	LatchRegFile = latch.RegFile
+	LatchGPTR    = latch.GPTR
+	LatchMode    = latch.Mode
+)
+
+// Outcomes lists all outcome categories in reporting order.
+var Outcomes = core.Outcomes
+
+// Units lists the core's unit names in the paper's order (IFU, IDU, FXU,
+// FPU, LSU, RUT, Core).
+var Units = proc.Units
+
+// UnitNEST is the optional core-periphery unit (L2 + memory controller),
+// present when RunnerConfig.Proc.EnableNest is set — the paper's "fault
+// injections in the periphery of the core" future work.
+const UnitNEST = proc.UnitNEST
+
+// LatchTypes lists the latch types in Figure 5 order.
+var LatchTypes = latch.Types
+
+// DefaultCampaignConfig returns a whole-core random campaign configuration.
+func DefaultCampaignConfig() CampaignConfig { return core.DefaultCampaignConfig() }
+
+// DefaultRunnerConfig returns the standard SFI runner configuration.
+func DefaultRunnerConfig() RunnerConfig { return core.DefaultRunnerConfig() }
+
+// RunCampaign executes a fault-injection campaign.
+func RunCampaign(cfg CampaignConfig) (*Report, error) { return core.RunCampaign(cfg) }
+
+// NewRunner builds, warms and checkpoints a single injection runner.
+func NewRunner(cfg RunnerConfig) (*Runner, error) { return core.NewRunner(cfg) }
+
+// ByUnit selects one unit's latches for targeted injection.
+func ByUnit(unit string) LatchFilter { return latch.ByUnit(unit) }
+
+// ByType selects one latch type for targeted injection.
+func ByType(t LatchType) LatchFilter { return latch.ByType(t) }
+
+// ByGroupPrefix selects latch groups by name prefix (macro-level targeting).
+func ByGroupPrefix(prefix string) LatchFilter { return core.ByGroupPrefix(prefix) }
+
+// DefaultBeamConfig returns the calibrated beam configuration.
+func DefaultBeamConfig() BeamConfig { return beam.DefaultConfig() }
+
+// RunBeam executes a simulated proton-beam experiment.
+func RunBeam(cfg BeamConfig) (*BeamReport, error) { return beam.Run(cfg) }
+
+// CalibrateBeam compares SFI proportions against a beam report (Table 2),
+// returning the chi-square statistic and p-value.
+func CalibrateBeam(vanished, corrected, checkstop float64, rep *BeamReport) (stat, p float64, err error) {
+	return beam.Calibrate(vanished, corrected, checkstop, rep)
+}
+
+// Table1 is the AVP-versus-SPECInt comparison result.
+type Table1 = workload.Table1
+
+// BuildTable1 measures the workload profiles and the AVP (paper Table 1).
+func BuildTable1(seed uint64) (*Table1, error) { return workload.BuildTable1(seed) }
