@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The -race pass targets the packages that exercise concurrent model copies:
+# internal/core (campaign fan-out over cloned runners) and internal/emu.
+race:
+	$(GO) test -race ./internal/core ./internal/emu
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+ci: vet build test race

@@ -151,7 +151,9 @@ func run(a campaignArgs) error {
 		fmt.Println(string(data))
 		return nil
 	}
-	fmt.Printf("campaign finished in %v\n", time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	fmt.Printf("campaign finished in %v (%d injections, %.1f inj/s)\n",
+		elapsed.Round(time.Millisecond), rep.Total, float64(rep.Total)/elapsed.Seconds())
 	if a.detail {
 		fmt.Print(rep.DetailedString())
 	} else {

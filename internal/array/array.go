@@ -8,14 +8,24 @@ package array
 
 import (
 	"fmt"
+	mbits "math/bits"
 
 	"sfi/internal/bits"
 )
 
 // Protected is an ECC-protected array of 64-bit words.
+//
+// When a restore baseline is installed (SetBaseline), writes mark the entry
+// dirty and delta snapshots restore in time proportional to the entries
+// actually touched — see DESIGN.md "Dirty-tracking checkpoint restore".
 type Protected struct {
 	name  string
 	cells []bits.ECCWord
+
+	// base is the baseline contents, immutable once installed (shared
+	// read-only by cloned arrays). dirty has one bit per entry.
+	base  []bits.ECCWord
+	dirty []uint64
 
 	// Corrected counts single-bit errors corrected on read or scrub.
 	Corrected uint64
@@ -46,9 +56,17 @@ func (p *Protected) Entries() int { return len(p.cells) }
 // population the beam model samples from.
 func (p *Protected) TotalBits() int { return len(p.cells) * 72 }
 
+// touch marks an entry dirty (no-op without a baseline).
+func (p *Protected) touch(entry int) {
+	if p.dirty != nil {
+		p.dirty[entry>>6] |= 1 << (uint(entry) & 63)
+	}
+}
+
 // Write stores a word with freshly computed check bits.
 func (p *Protected) Write(entry int, data uint64) {
 	p.cells[entry] = bits.EncodeSECDED(data)
+	p.touch(entry)
 }
 
 // Read loads a word through ECC decode. Single-bit errors are corrected
@@ -60,6 +78,7 @@ func (p *Protected) Read(entry int) (uint64, bits.ECCResult) {
 	case bits.ECCCorrected:
 		p.Corrected++
 		p.cells[entry] = bits.EncodeSECDED(data)
+		p.touch(entry)
 	case bits.ECCUncorrectable:
 		p.Uncorrectable++
 	}
@@ -77,6 +96,7 @@ func (p *Protected) FlipBit(entry, bit int) {
 	} else {
 		p.cells[entry].Check ^= 1 << uint(bit-64)
 	}
+	p.touch(entry)
 }
 
 // ScrubStep checks one entry (correcting if needed) and returns its result;
@@ -93,12 +113,98 @@ func (p *Protected) Snapshot() []bits.ECCWord {
 	return s
 }
 
-// Restore overwrites contents from a snapshot of the same shape.
+// Restore overwrites contents from a snapshot of the same shape. With a
+// baseline installed every entry is conservatively marked dirty so later
+// delta restores stay correct.
 func (p *Protected) Restore(snap []bits.ECCWord) {
 	if len(snap) != len(p.cells) {
 		panic(fmt.Sprintf("array: snapshot size %d != %d in %s", len(snap), len(p.cells), p.name))
 	}
 	copy(p.cells, snap)
+	if p.dirty != nil {
+		for i := range p.dirty {
+			p.dirty[i] = ^uint64(0)
+		}
+		if r := len(p.cells) % 64; r != 0 {
+			p.dirty[len(p.dirty)-1] = 1<<uint(r) - 1
+		}
+	}
+}
+
+// SetBaseline snapshots the current contents as the restore baseline and
+// starts entry-granular dirty tracking against it.
+func (p *Protected) SetBaseline() {
+	p.base = append([]bits.ECCWord(nil), p.cells...)
+	p.dirty = make([]uint64, (len(p.cells)+63)/64)
+}
+
+// HasBaseline reports whether dirty tracking is active.
+func (p *Protected) HasBaseline() bool { return p.base != nil }
+
+// AdoptBaseline shares src's baseline (read-only) and resets contents to it
+// with a clean dirty bitmap. Shapes must match.
+func (p *Protected) AdoptBaseline(src *Protected) {
+	if src.base == nil {
+		panic(fmt.Sprintf("array: AdoptBaseline from %s without a baseline", src.name))
+	}
+	if len(p.cells) != len(src.base) {
+		panic(fmt.Sprintf("array: adopt size mismatch %d != %d in %s", len(p.cells), len(src.base), p.name))
+	}
+	p.base = src.base
+	copy(p.cells, p.base)
+	p.dirty = make([]uint64, (len(p.cells)+63)/64)
+}
+
+// Delta is a sparse array snapshot: the entries (index and raw ECC word)
+// that differed from the baseline at capture time. Immutable after capture.
+type Delta struct {
+	idx []int32
+	val []bits.ECCWord
+}
+
+// Entries returns the number of entries recorded in the delta.
+func (d *Delta) Entries() int { return len(d.idx) }
+
+// CaptureDelta records the entries currently marked dirty against the
+// baseline. It panics without a baseline.
+func (p *Protected) CaptureDelta() *Delta {
+	if p.base == nil {
+		panic(fmt.Sprintf("array: CaptureDelta without a baseline in %s", p.name))
+	}
+	d := &Delta{}
+	for w, b := range p.dirty {
+		for b != 0 {
+			e := w*64 + mbits.TrailingZeros64(b)
+			b &= b - 1
+			d.idx = append(d.idx, int32(e))
+			d.val = append(d.val, p.cells[e])
+		}
+	}
+	return d
+}
+
+// RestoreDelta rewrites the array to exactly the state captured in d: dirty
+// entries revert to the baseline, then the delta's entries are applied and
+// stay marked dirty.
+func (p *Protected) RestoreDelta(d *Delta) {
+	if p.base == nil {
+		panic(fmt.Sprintf("array: RestoreDelta without a baseline in %s", p.name))
+	}
+	for w, b := range p.dirty {
+		for b != 0 {
+			e := w*64 + mbits.TrailingZeros64(b)
+			b &= b - 1
+			p.cells[e] = p.base[e]
+		}
+	}
+	for i := range p.dirty {
+		p.dirty[i] = 0
+	}
+	for i, e32 := range d.idx {
+		e := int(e32)
+		p.cells[e] = d.val[i]
+		p.dirty[e>>6] |= 1 << (uint(e) & 63)
+	}
 }
 
 // ResetCounters zeroes the error counters.

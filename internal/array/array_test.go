@@ -137,3 +137,81 @@ func TestQuickAnySingleFlipCorrected(t *testing.T) {
 		}
 	}
 }
+
+func cellsEqual(a, b []bits.ECCWord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeltaRestoreMatchesSnapshot(t *testing.T) {
+	p := New("t", 100)
+	p.Write(1, 0x11)
+	p.SetBaseline()
+	if !p.HasBaseline() {
+		t.Fatal("baseline not installed")
+	}
+	ckA := p.CaptureDelta()
+	if ckA.Entries() != 0 {
+		t.Fatalf("baseline delta has %d entries", ckA.Entries())
+	}
+	// Advance through every mutation primitive and checkpoint.
+	p.Write(1, 0x22)
+	p.FlipBit(7, 3)
+	p.FlipBit(7, 3) // flip back: entry still marked dirty, value clean
+	p.Write(64, 0x33)
+	ckB := p.CaptureDelta()
+	wantB := p.Snapshot()
+	for e := 0; e < p.Entries(); e++ {
+		p.Write(e, 0xee)
+	}
+	p.RestoreDelta(ckB)
+	if !cellsEqual(p.Snapshot(), wantB) {
+		t.Fatal("delta restore to B does not match snapshot")
+	}
+	p.RestoreDelta(ckA)
+	if v, _ := p.Read(1); v != 0x11 {
+		t.Fatalf("cross-restore to baseline: [1] = %#x", v)
+	}
+}
+
+func TestDeltaTracksReadRepair(t *testing.T) {
+	// A corrected read rewrites the cell in place; the entry must be
+	// tracked so a later delta restore reverts the repair too.
+	p := New("t", 16)
+	p.SetBaseline()
+	p.FlipBit(2, 5)
+	ck := p.CaptureDelta()
+	want := p.Snapshot()
+	if _, res := p.Read(2); res != bits.ECCCorrected {
+		t.Fatal("expected corrected read")
+	}
+	p.RestoreDelta(ck)
+	if !cellsEqual(p.Snapshot(), want) {
+		t.Fatal("delta restore did not revert the read-repair")
+	}
+}
+
+func TestAdoptBaseline(t *testing.T) {
+	src := New("t", 32)
+	src.Write(4, 0xaa)
+	src.SetBaseline()
+	src.Write(5, 0xbb)
+	ck := src.CaptureDelta()
+
+	p := New("t", 32)
+	p.AdoptBaseline(src)
+	if v, _ := p.Read(4); v != 0xaa {
+		t.Fatalf("adopted baseline [4] = %#x", v)
+	}
+	p.RestoreDelta(ck)
+	if !cellsEqual(p.Snapshot(), src.Snapshot()) {
+		t.Fatal("clone after delta restore does not match source")
+	}
+}

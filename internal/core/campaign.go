@@ -35,6 +35,12 @@ type CampaignConfig struct {
 	// false for very large campaigns to save memory; aggregates are
 	// always kept).
 	KeepResults bool
+
+	// NoClone makes every worker build its own runner from scratch
+	// (re-generating the AVP and re-running the warm-up) instead of
+	// cloning the warmed prototype. Kept as the slow reference path for
+	// benchmarking campaign start-up cost.
+	NoClone bool
 }
 
 // DefaultCampaignConfig returns a whole-core random campaign configuration.
@@ -121,9 +127,22 @@ func (r *Report) add(res Result, keep bool) {
 	}
 }
 
+// newWorkerRunner builds the model for one extra campaign worker. It is a
+// package variable so tests can force a worker start failure.
+var newWorkerRunner = func(proto *Runner, cfg CampaignConfig) (*Runner, error) {
+	if cfg.NoClone {
+		return NewRunner(cfg.Runner)
+	}
+	return proto.Clone(), nil
+}
+
 // RunCampaign executes a campaign: it samples Flips latch bits from the
 // filtered population and classifies every injection, fanning the work out
-// over concurrent model copies.
+// over concurrent model copies. The AVP is generated and warmed once, in
+// the prototype runner; the other workers are warm clones of it (unless
+// NoClone is set). A worker that fails to start aborts the campaign: the
+// dispatcher stops handing out injections as soon as the failure is
+// reported and the error is returned.
 func RunCampaign(cfg CampaignConfig) (*Report, error) {
 	if cfg.Flips < 1 {
 		return nil, fmt.Errorf("core: campaign needs at least one flip")
@@ -136,8 +155,8 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) {
 		workers = cfg.Flips
 	}
 
-	// One runner up front: it provides the latch database for sampling
-	// and serves as worker 0's model.
+	// The prototype runner: it provides the latch database for sampling,
+	// the warmed checkpoints the clones adopt, and worker 0's model.
 	first, err := NewRunner(cfg.Runner)
 	if err != nil {
 		return nil, err
@@ -161,27 +180,37 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) {
 	go worker(first)
 	for w := 1; w < workers; w++ {
 		go func() {
-			r, err := NewRunner(cfg.Runner)
+			r, err := newWorkerRunner(first, cfg)
 			if err != nil {
-				errCh <- err
+				errCh <- fmt.Errorf("core: worker %d failed to start: %w", w, err)
 				wg.Done()
-				// Drain nothing; the dispatcher below keeps the other
-				// workers fed.
 				return
 			}
 			worker(r)
 		}()
 	}
 
+	// Fail-fast dispatch: stop handing out work the moment a worker
+	// reports a start failure instead of draining the whole campaign.
+	var startErr error
+dispatch:
 	for i := range bits {
-		next <- i
+		select {
+		case startErr = <-errCh:
+			break dispatch
+		case next <- i:
+		}
 	}
 	close(next)
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
+	if startErr == nil {
+		select {
+		case startErr = <-errCh:
+		default:
+		}
+	}
+	if startErr != nil {
+		return nil, startErr
 	}
 
 	rep := newReport()

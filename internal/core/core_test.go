@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"testing"
+	"time"
 
 	"sfi/internal/emu"
 	"sfi/internal/latch"
@@ -349,5 +351,91 @@ func TestNestCampaignThroughFramework(t *testing.T) {
 	}
 	if rep.Fraction(Vanished) < 0.8 {
 		t.Errorf("NEST vanish %.2f implausibly low", rep.Fraction(Vanished))
+	}
+}
+
+// TestRunnerCloneEquivalence: a warm clone must classify every injection
+// exactly as the prototype does.
+func TestRunnerCloneEquivalence(t *testing.T) {
+	r, err := NewRunner(fastRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := r.Clone()
+	total := r.Core().DB().TotalBits()
+	for i := 0; i < 25; i++ {
+		bit := (i * 104729) % total
+		want := r.RunInjection(bit)
+		got := cl.RunInjection(bit)
+		if got != want {
+			t.Fatalf("bit %d: clone result %+v != prototype %+v", bit, got, want)
+		}
+	}
+}
+
+// TestCampaignWorkerStartFailFast forces a worker constructor error and
+// checks the campaign aborts with it instead of draining all injections.
+func TestCampaignWorkerStartFailFast(t *testing.T) {
+	sentinel := errors.New("forced constructor failure")
+	old := newWorkerRunner
+	newWorkerRunner = func(proto *Runner, cfg CampaignConfig) (*Runner, error) {
+		return nil, sentinel
+	}
+	defer func() { newWorkerRunner = old }()
+
+	cfg := fastCampaignConfig()
+	cfg.Workers = 4
+	cfg.Flips = 4000 // large enough that draining it all would be obvious
+	done := make(chan struct{})
+	var err error
+	go func() {
+		_, err = RunCampaign(cfg)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign did not fail fast")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+// TestCampaignClonedWorkersShareCheckpoints runs a ≥4-worker campaign on
+// cloned runners (the shared-ModelCheckpoint concurrency surface); run it
+// under -race via the ci target.
+func TestCampaignClonedWorkersShareCheckpoints(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Workers = 4
+	cfg.Flips = 64
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != cfg.Flips {
+		t.Fatalf("total = %d, want %d", rep.Total, cfg.Flips)
+	}
+}
+
+// TestCampaignNoCloneMatchesCloned: the from-scratch worker path must agree
+// with warm-cloned workers injection for injection.
+func TestCampaignNoCloneMatchesCloned(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Workers = 3
+	cfg.Flips = 60
+	cloned, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoClone = true
+	fresh, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range Outcomes {
+		if cloned.Counts[o] != fresh.Counts[o] {
+			t.Errorf("outcome %v: %d (cloned) vs %d (no-clone)", o, cloned.Counts[o], fresh.Counts[o])
+		}
 	}
 }

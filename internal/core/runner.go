@@ -125,6 +125,10 @@ func NewRunner(cfg RunnerConfig) (*Runner, error) {
 			ends++
 		}
 	}
+	// Install the dirty-tracking restore baseline at steady state: the
+	// phased checkpoints below are captured as sparse deltas against it,
+	// and every per-injection reload rewrites only the state that differs.
+	c.InstallRestoreBaseline()
 	r := &Runner{
 		cfg:       cfg,
 		eng:       eng,
@@ -148,6 +152,31 @@ func NewRunner(cfg RunnerConfig) (*Runner, error) {
 		}
 	}
 	return r, nil
+}
+
+// Clone duplicates a warmed runner without re-generating the AVP or
+// re-running the warm-up and checkpoint passes: it builds a fresh model,
+// adopts the prototype's restore baseline (shared read-only) and reloads the
+// first phased checkpoint. The clone shares the prototype's immutable
+// checkpoints and program but owns all mutable model state, so prototype and
+// clones can run injections concurrently. Cloning only reads the
+// prototype's immutable baseline and checkpoint data, never its live state.
+func (r *Runner) Clone() *Runner {
+	c := proc.New(r.cfg.Proc)
+	c.SetCheckersEnabled(r.cfg.CheckersOn)
+	c.SetRecoveryEnabled(r.cfg.RecoveryOn)
+	c.AdoptBaselineFrom(r.eng.Core())
+	eng := emu.New(c)
+	nr := &Runner{
+		cfg:       r.cfg,
+		eng:       eng,
+		prog:      r.prog,
+		ckpts:     r.ckpts,
+		baseRecov: r.baseRecov,
+	}
+	// Synchronize counters and capture state with a (dirty-path) reload.
+	eng.ReloadFrom(r.ckpts[0].ck)
+	return nr
 }
 
 // splitmix64 is the per-bit hash that deterministically assigns each

@@ -10,6 +10,7 @@
 package latch
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand/v2"
 	"sort"
@@ -65,13 +66,29 @@ func (g *Group) Bits() int { return g.Entries * g.Width }
 
 // DB is the latch database. Register groups during model construction, then
 // Freeze; injection and snapshotting operate on the frozen database.
+//
+// When a restore baseline is installed (SetBaseline), every latch write also
+// marks the storage word dirty, and delta snapshots captured against that
+// baseline restore in time proportional to the words actually touched —
+// see DESIGN.md "Dirty-tracking checkpoint restore".
 type DB struct {
 	words  []uint64
 	groups []*Group
 	byName map[string]*Group
 	total  int
 	frozen bool
+
+	// base is the baseline latch image, immutable once installed (shared
+	// read-only by cloned databases). dirty has one byte per block of 8
+	// storage words, set when the block may differ from base: a plain
+	// byte store keeps the latch-write hot path free of read-modify-write
+	// bitmap traffic.
+	base  []uint64
+	dirty []byte
 }
+
+// dirtyShift: 8 storage words (one cache line) per dirty-map byte.
+const dirtyShift = 3
 
 // NewDB returns an empty latch database.
 func NewDB() *DB {
@@ -158,22 +175,39 @@ func (db *DB) Peek(bit int) bool {
 	return db.words[g.physOff+e]&(1<<uint(b)) != 0
 }
 
-// Poke writes a logical latch bit.
+// touch marks storage word w's block dirty (no-op without a baseline). It
+// is small enough to inline into the latch-write hot path.
+func (db *DB) touch(w int) {
+	if db.dirty != nil {
+		db.dirty[w>>dirtyShift] = 1
+	}
+}
+
+// Poke writes a logical latch bit. Rewriting the held value is a no-op
+// (see Reg.Set).
 func (db *DB) Poke(bit int, v bool) {
 	g, e, b := db.Locate(bit)
+	w := g.physOff + e
+	old := db.words[w]
+	nw := old &^ (1 << uint(b))
 	if v {
-		db.words[g.physOff+e] |= 1 << uint(b)
-	} else {
-		db.words[g.physOff+e] &^= 1 << uint(b)
+		nw = old | 1<<uint(b)
 	}
+	if nw == old {
+		return
+	}
+	db.words[w] = nw
+	db.touch(w)
 }
 
 // Flip inverts a logical latch bit and returns the new value. This is the
 // injection primitive ("flip chosen latch bits" in the paper's Figure 1).
 func (db *DB) Flip(bit int) bool {
 	g, e, b := db.Locate(bit)
-	db.words[g.physOff+e] ^= 1 << uint(b)
-	return db.words[g.physOff+e]&(1<<uint(b)) != 0
+	w := g.physOff + e
+	db.words[w] ^= 1 << uint(b)
+	db.touch(w)
+	return db.words[w]&(1<<uint(b)) != 0
 }
 
 // Snapshot returns a copy of all latch state (a model checkpoint).
@@ -184,12 +218,124 @@ func (db *DB) Snapshot() []uint64 {
 }
 
 // Restore overwrites all latch state from a snapshot taken on the same
-// database shape.
+// database shape. With a baseline installed every word is conservatively
+// marked dirty so later delta restores stay correct.
 func (db *DB) Restore(snap []uint64) {
 	if len(snap) != len(db.words) {
 		panic(fmt.Sprintf("latch: snapshot size %d != %d", len(snap), len(db.words)))
 	}
 	copy(db.words, snap)
+	for i := range db.dirty {
+		db.dirty[i] = 1
+	}
+}
+
+// SetBaseline snapshots the current latch image as the restore baseline and
+// starts block-granular dirty tracking against it.
+func (db *DB) SetBaseline() {
+	db.base = append([]uint64(nil), db.words...)
+	db.dirty = make([]byte, (len(db.words)+7)>>dirtyShift)
+}
+
+// HasBaseline reports whether dirty tracking is active.
+func (db *DB) HasBaseline() bool { return db.base != nil }
+
+// AdoptBaseline shares src's baseline (read-only) and resets this database's
+// latch image to it with a clean dirty bitmap. Shapes must match (same
+// registration sequence).
+func (db *DB) AdoptBaseline(src *DB) {
+	if src.base == nil {
+		panic("latch: AdoptBaseline from a database without a baseline")
+	}
+	if len(db.words) != len(src.base) {
+		panic(fmt.Sprintf("latch: adopt size mismatch %d != %d", len(db.words), len(src.base)))
+	}
+	db.base = src.base
+	copy(db.words, db.base)
+	db.dirty = make([]byte, (len(db.words)+7)>>dirtyShift)
+}
+
+// Delta is a sparse latch snapshot: the storage words (index and value) that
+// differed from the baseline at capture time. Immutable after capture.
+type Delta struct {
+	idx []int32
+	val []uint64
+}
+
+// Words returns the number of storage words recorded in the delta.
+func (d *Delta) Words() int { return len(d.idx) }
+
+// blockBounds returns the word range [lo, hi) of dirty block b.
+func (db *DB) blockBounds(b int) (lo, hi int) {
+	lo = b << dirtyShift
+	hi = lo + 1<<dirtyShift
+	if hi > len(db.words) {
+		hi = len(db.words)
+	}
+	return lo, hi
+}
+
+// forEachDirtyBlock calls fn for every dirty block index in ascending
+// order, scanning the byte map eight entries at a time.
+func (db *DB) forEachDirtyBlock(fn func(block int)) {
+	d := db.dirty
+	i := 0
+	for ; i+8 <= len(d); i += 8 {
+		if binary.LittleEndian.Uint64(d[i:]) == 0 {
+			continue
+		}
+		for j := i; j < i+8; j++ {
+			if d[j] != 0 {
+				fn(j)
+			}
+		}
+	}
+	for ; i < len(d); i++ {
+		if d[i] != 0 {
+			fn(i)
+		}
+	}
+}
+
+// CaptureDelta records the words that differ from the baseline (scanning
+// only the blocks marked dirty). It panics without a baseline.
+func (db *DB) CaptureDelta() *Delta {
+	if db.base == nil {
+		panic("latch: CaptureDelta without a baseline")
+	}
+	d := &Delta{}
+	db.forEachDirtyBlock(func(b int) {
+		lo, hi := db.blockBounds(b)
+		for w := lo; w < hi; w++ {
+			if db.words[w] != db.base[w] {
+				d.idx = append(d.idx, int32(w))
+				d.val = append(d.val, db.words[w])
+			}
+		}
+	})
+	return d
+}
+
+// RestoreDelta rewrites the latch image to exactly the state captured in d:
+// dirty blocks revert to the baseline, then the delta's words are applied
+// and stay marked dirty. Cost is proportional to blocks touched since the
+// last restore plus the delta size — not the database size.
+func (db *DB) RestoreDelta(d *Delta) {
+	if db.base == nil {
+		panic("latch: RestoreDelta without a baseline")
+	}
+	db.forEachDirtyBlock(func(b int) {
+		lo, hi := db.blockBounds(b)
+		copy(db.words[lo:hi], db.base[lo:hi])
+	})
+	for i := range db.dirty {
+		db.dirty[i] = 0
+	}
+	for i, w32 := range d.idx {
+		w := int(w32)
+		db.words[w] = d.val[i]
+		db.dirty[w>>dirtyShift] = 1
+	}
 }
 
 // Filter selects latch groups (nil selects everything).
@@ -283,9 +429,18 @@ func (r Reg) Get() uint64 {
 	return r.db.words[r.g.physOff+r.idx] & mask(r.g.Width)
 }
 
-// Set writes the latch value (extra high bits are dropped).
+// Set writes the latch value (extra high bits are dropped). Rewriting the
+// value already held is a no-op: most latch writes each cycle are holds
+// (idle FSMs, regenerated parity), and skipping them keeps both the store
+// and the dirty-tracking mark off the hot path.
 func (r Reg) Set(v uint64) {
-	r.db.words[r.g.physOff+r.idx] = v & mask(r.g.Width)
+	w := r.g.physOff + r.idx
+	v &= mask(r.g.Width)
+	if r.db.words[w] == v {
+		return
+	}
+	r.db.words[w] = v
+	r.db.touch(w)
 }
 
 // GetBit reads one bit of the latch.

@@ -337,3 +337,81 @@ func TestQuickFieldRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func snapsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeltaRestoreMatchesSnapshot(t *testing.T) {
+	db, pc, gpr := buildTestDB()
+	pc.Set(0x1234)
+	db.SetBaseline()
+	if !db.HasBaseline() {
+		t.Fatal("baseline not installed")
+	}
+	ckA := db.CaptureDelta()
+	if ckA.Words() != 0 {
+		t.Fatalf("baseline delta has %d words", ckA.Words())
+	}
+	// Advance through every write primitive and checkpoint.
+	pc.Set(0x5678)
+	gpr.Entry(3).Set(99)
+	db.Poke(0, true)
+	db.Flip(60)
+	ckB := db.CaptureDelta()
+	wantB := db.Snapshot()
+	// Dirty more state, then delta-restore B and cross-restore A.
+	for i := 0; i < gpr.Len(); i++ {
+		gpr.Entry(i).Set(uint64(i) * 3)
+	}
+	db.RestoreDelta(ckB)
+	if !snapsEqual(db.Snapshot(), wantB) {
+		t.Fatal("delta restore to B does not match snapshot")
+	}
+	db.RestoreDelta(ckA)
+	if pc.Get() != 0x1234 || gpr.Entry(3).Get() != 0 {
+		t.Fatal("cross-checkpoint delta restore to baseline diverged")
+	}
+}
+
+func TestDeltaRestoreAfterFullRestore(t *testing.T) {
+	// A full Restore conservatively dirties every word; the next delta
+	// restore must still be exact.
+	db, pc, _ := buildTestDB()
+	db.SetBaseline()
+	pc.Set(0xabc)
+	ck := db.CaptureDelta()
+	want := db.Snapshot()
+	blank := make([]uint64, len(db.Snapshot()))
+	db.Restore(blank)
+	db.RestoreDelta(ck)
+	if !snapsEqual(db.Snapshot(), want) {
+		t.Fatal("delta restore after full Restore diverged")
+	}
+}
+
+func TestAdoptBaseline(t *testing.T) {
+	src, pc, _ := buildTestDB()
+	pc.Set(0x77)
+	src.SetBaseline()
+	pc.Set(0x88)
+	ck := src.CaptureDelta()
+
+	db, pc2, _ := buildTestDB()
+	db.AdoptBaseline(src)
+	if pc2.Get() != 0x77 {
+		t.Fatalf("adopted baseline pc = %#x", pc2.Get())
+	}
+	db.RestoreDelta(ck)
+	if !snapsEqual(db.Snapshot(), src.Snapshot()) {
+		t.Fatal("clone after delta restore does not match source")
+	}
+}

@@ -136,3 +136,97 @@ func TestQuickWrite32Halves(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDeltaRestoreMatchesBaseline(t *testing.T) {
+	m := New(64 * 1024)
+	m.Write64(0x100, 0x1111)
+	m.Write64(0x8000, 0x2222)
+	m.SetBaseline()
+	if !m.HasBaseline() {
+		t.Fatal("baseline not installed")
+	}
+	// Checkpoint A: the baseline state itself (empty delta).
+	ckA := m.CaptureDelta()
+	if ckA.Pages() != 0 {
+		t.Fatalf("baseline delta has %d pages", ckA.Pages())
+	}
+	// Advance and checkpoint B.
+	m.Write64(0x100, 0x3333)
+	m.Write64(0xa008, 0x4444)
+	ckB := m.CaptureDelta()
+	want := m.Clone()
+	// Dirty a bunch of other pages, then delta-restore B.
+	for a := uint64(0); a < 64*1024; a += 4096 {
+		m.Write64(a, 0xffff)
+	}
+	m.RestoreDelta(ckB)
+	if !m.Equal(want) {
+		t.Fatal("delta restore to B does not match full state")
+	}
+	// Cross-checkpoint: now delta-restore A (the baseline).
+	m.RestoreDelta(ckA)
+	if got := m.Read64(0x100); got != 0x1111 {
+		t.Fatalf("after restore to A, [0x100] = %#x", got)
+	}
+	if got := m.Read64(0xa008); got != 0 {
+		t.Fatalf("after restore to A, [0xa008] = %#x", got)
+	}
+}
+
+func TestDeltaRestoreAfterFullCopy(t *testing.T) {
+	// CopyFrom conservatively dirties everything; a delta restore after it
+	// must still reproduce the captured state exactly.
+	m := New(32 * 1024)
+	m.SetBaseline()
+	m.Write64(0x2000, 7)
+	ck := m.CaptureDelta()
+	want := m.Clone()
+	other := New(32 * 1024)
+	other.Write64(0x40, 0xdead)
+	m.CopyFrom(other)
+	m.RestoreDelta(ck)
+	if !m.Equal(want) {
+		t.Fatal("delta restore after CopyFrom diverged")
+	}
+}
+
+func TestAdoptBaseline(t *testing.T) {
+	src := New(16 * 1024)
+	src.Write64(0x800, 42)
+	src.SetBaseline()
+	src.Write64(0x900, 43)
+	ck := src.CaptureDelta()
+
+	m := New(16 * 1024)
+	m.AdoptBaseline(src)
+	if got := m.Read64(0x800); got != 42 {
+		t.Fatalf("adopted baseline [0x800] = %d", got)
+	}
+	m.RestoreDelta(ck)
+	if !m.Equal(src) {
+		t.Fatal("clone after delta restore does not match source")
+	}
+}
+
+func TestSubPageMemoryDelta(t *testing.T) {
+	// A memory smaller than one page exercises the short-last-page path.
+	m := New(512)
+	m.SetBaseline()
+	m.Write64(8, 9)
+	ck := m.CaptureDelta()
+	want := m.Clone()
+	m.Write64(16, 1)
+	m.RestoreDelta(ck)
+	if !m.Equal(want) {
+		t.Fatal("sub-page delta restore diverged")
+	}
+}
+
+func TestCaptureDeltaWithoutBaselinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CaptureDelta without baseline did not panic")
+		}
+	}()
+	New(1024).CaptureDelta()
+}

@@ -1,15 +1,29 @@
 package proc
 
 import (
+	"sfi/internal/array"
 	"sfi/internal/bits"
+	"sfi/internal/latch"
 	"sfi/internal/mem"
 )
+
+// baselineToken identifies one InstallRestoreBaseline call. A checkpoint's
+// delta form is only valid against the baseline it was captured from; cores
+// that share a token (via AdoptBaselineFrom) share the baseline image.
+type baselineToken struct{ _ byte }
 
 // ModelCheckpoint is a full snapshot of the machine — latches, protected
 // arrays, memory and run counters. The emulation engine saves one after
 // warm-up and reloads it before every injection, exactly as the paper's
 // flow does ("after the fault injection has completed, the model is
 // reloaded from a checkpoint").
+//
+// A checkpoint is immutable after capture and may be shared: multiple
+// engines (e.g. cloned campaign workers) can reload from one snapshot
+// concurrently. When the core had a restore baseline installed at capture
+// time, the checkpoint additionally carries sparse deltas against that
+// baseline, and RestoreCheckpoint on a core sharing the same baseline
+// rewrites only the state that actually differs — the dirty fast path.
 type ModelCheckpoint struct {
 	latches    []uint64
 	arrays     [][]bits.ECCWord
@@ -18,9 +32,53 @@ type ModelCheckpoint struct {
 	completed  uint64
 	recoveries uint64
 	halted     bool
+
+	// Dirty-restore fast path (nil base when no baseline was installed).
+	base        *baselineToken
+	latchDelta  *latch.Delta
+	memDelta    *mem.Delta
+	arrayDeltas []*array.Delta
 }
 
-// SaveCheckpoint captures the complete model state.
+// InstallRestoreBaseline snapshots the current state as the restore
+// baseline for the dirty-tracking fast path: from now on, latch, memory and
+// array writes are tracked, checkpoints capture sparse deltas against this
+// baseline, and RestoreCheckpoint rewrites only touched state. Call it once
+// the model has reached the state checkpoints will be taken near (after
+// workload warm-up); installing a fresh baseline invalidates the fast path
+// of previously captured checkpoints (they fall back to the full copy).
+func (c *Core) InstallRestoreBaseline() {
+	c.baseline = &baselineToken{}
+	c.db.SetBaseline()
+	c.mem.SetBaseline()
+	for _, p := range c.arrays {
+		p.SetBaseline()
+	}
+}
+
+// AdoptBaselineFrom shares src's restore baseline with this core (the
+// baseline image is immutable, so sharing is read-only safe) and resets the
+// live state to that baseline. src must have the same configuration and a
+// baseline installed. The caller is expected to RestoreCheckpoint next;
+// counters and capture state are synchronized there. This is the
+// warm-runner cloning primitive: the adopting core skips workload warm-up
+// entirely and never reads src's live (possibly concurrently running)
+// state.
+func (c *Core) AdoptBaselineFrom(src *Core) {
+	if c.cfg != src.cfg {
+		panic("proc: AdoptBaselineFrom across different configurations")
+	}
+	c.baseline = src.baseline
+	c.db.AdoptBaseline(src.db)
+	c.mem.AdoptBaseline(src.mem)
+	for i, p := range c.arrays {
+		p.AdoptBaseline(src.arrays[i])
+	}
+}
+
+// SaveCheckpoint captures the complete model state. With a restore baseline
+// installed it also captures the sparse delta form enabling the dirty
+// restore fast path.
 func (c *Core) SaveCheckpoint() *ModelCheckpoint {
 	ck := &ModelCheckpoint{
 		latches:    c.db.Snapshot(),
@@ -33,16 +91,53 @@ func (c *Core) SaveCheckpoint() *ModelCheckpoint {
 	for _, p := range c.arrays {
 		ck.arrays = append(ck.arrays, p.Snapshot())
 	}
+	if c.baseline != nil {
+		ck.base = c.baseline
+		ck.latchDelta = c.db.CaptureDelta()
+		ck.memDelta = c.mem.CaptureDelta()
+		for _, p := range c.arrays {
+			ck.arrayDeltas = append(ck.arrayDeltas, p.CaptureDelta())
+		}
+	}
 	return ck
 }
 
 // RestoreCheckpoint reloads the model from a checkpoint taken on the same
-// configuration, clearing error counters and capture state.
+// configuration, clearing error counters and capture state. When the
+// checkpoint carries a delta against this core's installed baseline, only
+// the state that differs (words/pages/entries dirtied since the last
+// restore, plus the checkpoint's own delta) is rewritten; otherwise the
+// full-copy slow path runs.
 func (c *Core) RestoreCheckpoint(ck *ModelCheckpoint) {
+	if ck.base != nil && ck.base == c.baseline {
+		c.db.RestoreDelta(ck.latchDelta)
+		c.mem.RestoreDelta(ck.memDelta)
+		for i, p := range c.arrays {
+			p.RestoreDelta(ck.arrayDeltas[i])
+		}
+		c.finishRestore(ck)
+		return
+	}
+	c.RestoreCheckpointFull(ck)
+}
+
+// RestoreCheckpointFull reloads the model through the full-copy slow path,
+// ignoring any delta the checkpoint carries. It is the correctness baseline
+// the dirty path is verified against (see the differential tests) and the
+// fallback when baselines don't match.
+func (c *Core) RestoreCheckpointFull(ck *ModelCheckpoint) {
 	c.db.Restore(ck.latches)
 	c.mem.CopyFrom(ck.memory)
 	for i, p := range c.arrays {
 		p.Restore(ck.arrays[i])
+	}
+	c.finishRestore(ck)
+}
+
+// finishRestore resets counters and capture state common to both restore
+// paths.
+func (c *Core) finishRestore(ck *ModelCheckpoint) {
+	for _, p := range c.arrays {
 		p.ResetCounters()
 	}
 	c.Cycle = ck.cycle

@@ -97,6 +97,11 @@ type Core struct {
 
 	halted bool
 
+	// baseline identifies the installed restore baseline for the
+	// dirty-tracking checkpoint fast path (nil until
+	// InstallRestoreBaseline; shared by cloned cores).
+	baseline *baselineToken
+
 	// pending errors posted by checkers during the current cycle
 	pendErr []pendingError
 
