@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench overhead ci
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,17 @@ vet:
 race:
 	$(GO) test -race ./internal/core ./internal/emu
 
+# bench runs every benchmark once for a quick smoke, then has sfi-bench
+# re-measure the headline numbers and emit the machine-readable record.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/sfi-bench -out BENCH_pr2.json
 
-ci: vet build test race
+# overhead is the observability cost gate: BenchmarkInjection with the
+# no-op default must stay within 5% of the recorded baseline, and the
+# metrics+trace-on path within 5% of the no-op path. A missing baseline
+# file is recorded rather than failed (fresh machine).
+overhead:
+	$(GO) run ./cmd/sfi-bench -guard -baseline BENCH_baseline.json
+
+ci: vet build test race overhead

@@ -1,9 +1,11 @@
 package sfi
 
 import (
+	"io"
 	"testing"
 
 	"sfi/internal/emu"
+	"sfi/internal/obs"
 )
 
 // The benchmark harness: one bench per table and figure of the paper's
@@ -262,6 +264,33 @@ func BenchmarkInjection(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.RunInjection((i * 7919) % total)
+	}
+}
+
+// BenchmarkInjectionObserved measures the same single-injection loop with
+// the observability layer fully on — metrics collection plus a JSONL trace
+// into a discarding sink. The delta against BenchmarkInjection is the
+// instrumentation overhead budget documented in DESIGN.md (<5%) and gated
+// by make ci (cmd/sfi-bench -guard).
+func BenchmarkInjectionObserved(b *testing.B) {
+	r, err := NewRunner(benchRunner())
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, len(Outcomes)+1)
+	for _, o := range Outcomes {
+		names[int(o)] = o.String()
+	}
+	m := obs.New(names)
+	sink := obs.NewTraceSink(io.Discard, obs.TraceOptions{})
+	r.SetObs(m, sink)
+	total := r.Core().DB().TotalBits()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RunInjection((i * 7919) % total)
+	}
+	if got := m.Snapshot().Injections; got != uint64(b.N) {
+		b.Fatalf("metrics recorded %d injections, ran %d", got, b.N)
 	}
 }
 

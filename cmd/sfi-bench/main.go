@@ -1,0 +1,340 @@
+// Command sfi-bench runs the repository's key performance benchmarks,
+// parses their output and emits a machine-readable JSON record so the perf
+// trajectory is tracked across PRs instead of only as prose in
+// EXPERIMENTS.md:
+//
+//	sfi-bench -out BENCH_pr2.json
+//
+// With -guard it is the CI overhead gate for the observability layer: it
+// measures the injection hot path with observability off (the no-op
+// default) and fully on (metrics + trace sink) in interleaved rounds,
+// fails if the no-op path regressed more than 5% against the recorded
+// baseline, and fails if the metrics-on overhead exceeds 5%:
+//
+//	sfi-bench -guard -baseline BENCH_baseline.json
+//
+// A missing baseline file is recorded (first run on a new machine) rather
+// than failed, and -record re-records it in place.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"sfi"
+	"sfi/internal/obs"
+)
+
+const tolerance = 0.05 // 5% regression / overhead budget
+
+func main() {
+	var (
+		out      = flag.String("out", "", "write the full benchmark record to this JSON file")
+		guard    = flag.Bool("guard", false, "run the observability overhead gate (exit 1 on >5% regression)")
+		baseline = flag.String("baseline", "BENCH_baseline.json", "recorded BenchmarkInjection baseline for -guard")
+		record   = flag.Bool("record", false, "re-record the -baseline file from this run")
+		count    = flag.Int("count", 10, "paired measurement rounds (best-of is used)")
+	)
+	flag.Parse()
+
+	if !*guard && *out == "" && !*record {
+		fmt.Fprintln(os.Stderr, "sfi-bench: nothing to do (want -out, -guard or -record)")
+		os.Exit(2)
+	}
+	if err := run(*out, *guard, *baseline, *record, *count); err != nil {
+		fmt.Fprintln(os.Stderr, "sfi-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// sample is one parsed benchmark result line.
+type sample struct {
+	nsPerOp float64
+	metrics map[string]float64 // extra b.ReportMetric pairs, e.g. "inj/s"
+}
+
+// record is the BENCH_pr*.json wire format.
+type benchRecord struct {
+	Date string `json:"date"`
+	Go   string `json:"go"`
+	Host string `json:"host"`
+
+	InjectionNsOp         float64 `json:"injection_ns_op"`
+	InjectionsPerSec      float64 `json:"injections_per_sec"`
+	InjectionObservedNsOp float64 `json:"injection_observed_ns_op"`
+	ObsOverheadPct        float64 `json:"observability_overhead_pct"`
+
+	RestoreDirtyNsOp float64 `json:"restore_dirty_ns_op"`
+	RestoreFullNsOp  float64 `json:"restore_full_ns_op"`
+
+	CampaignInjPerSec struct {
+		WarmClones   float64 `json:"warm_clones"`
+		FreshWorkers float64 `json:"fresh_workers"`
+	} `json:"campaign_inj_per_sec"`
+}
+
+type baselineRecord struct {
+	InjectionNsOp float64 `json:"injection_ns_op"`
+	Recorded      string  `json:"recorded"`
+	Go            string  `json:"go"`
+}
+
+func run(out string, guard bool, baselinePath string, record bool, count int) error {
+	fmt.Fprintln(os.Stderr, "sfi-bench: measuring injection throughput (observability off/on)...")
+	offNs, onNs, err := measureInjectionPaired(count)
+	if err != nil {
+		return err
+	}
+	overhead := (onNs - offNs) / offNs
+	fmt.Fprintf(os.Stderr, "sfi-bench: injection %.0f ns/op off, %.0f ns/op on (overhead %+.2f%%)\n",
+		offNs, onNs, 100*overhead)
+
+	if guard || record {
+		gerr := runGuard(baselinePath, record, offNs, overhead)
+		if gerr != nil && !record {
+			// One fresh measurement before failing: a transient load burst
+			// inflates both measurements and passes the retry, while a real
+			// regression fails twice.
+			fmt.Fprintln(os.Stderr, "sfi-bench: guard failed, re-measuring once to rule out transient load...")
+			off2, on2, merr := measureInjectionPaired(count)
+			if merr != nil {
+				return merr
+			}
+			offNs, onNs = min(offNs, off2), min(onNs, on2)
+			overhead = (onNs - offNs) / offNs
+			gerr = runGuard(baselinePath, false, offNs, overhead)
+		}
+		if gerr != nil {
+			return gerr
+		}
+	}
+	if out == "" {
+		return nil
+	}
+
+	fmt.Fprintln(os.Stderr, "sfi-bench: measuring checkpoint restore...")
+	restoreOut, err := goBench("./internal/core", "^BenchmarkRestoreCheckpoint$", "300x", 1)
+	if err != nil {
+		return err
+	}
+	restores := parseBench(restoreOut)
+	dirty, err := best(restores, "BenchmarkRestoreCheckpoint/dirty")
+	if err != nil {
+		return err
+	}
+	full, err := best(restores, "BenchmarkRestoreCheckpoint/full")
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(os.Stderr, "sfi-bench: measuring campaign throughput...")
+	campOut, err := goBench(".", "^BenchmarkCampaignThroughput$", "1x", 1)
+	if err != nil {
+		return err
+	}
+	camps := parseBench(campOut)
+	warm, err := best(camps, "BenchmarkCampaignThroughput/warm-clones")
+	if err != nil {
+		return err
+	}
+	fresh, err := best(camps, "BenchmarkCampaignThroughput/fresh-workers")
+	if err != nil {
+		return err
+	}
+
+	rec := benchRecord{
+		Date:                  time.Now().UTC().Format(time.RFC3339),
+		Go:                    runtime.Version(),
+		Host:                  fmt.Sprintf("%s/%s x%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		InjectionNsOp:         offNs,
+		InjectionsPerSec:      1e9 / offNs,
+		InjectionObservedNsOp: onNs,
+		ObsOverheadPct:        100 * overhead,
+		RestoreDirtyNsOp:      dirty.nsPerOp,
+		RestoreFullNsOp:       full.nsPerOp,
+	}
+	rec.CampaignInjPerSec.WarmClones = warm.metrics["inj/s"]
+	rec.CampaignInjPerSec.FreshWorkers = fresh.metrics["inj/s"]
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sfi-bench: wrote %s\n", out)
+	return nil
+}
+
+// runGuard enforces the two 5% budgets: no-op-observability regression
+// against the recorded baseline, and metrics-on overhead against the
+// in-run metrics-off measurement.
+func runGuard(path string, record bool, offNsOp, overhead float64) error {
+	if overhead > tolerance {
+		return fmt.Errorf("observability overhead %.2f%% exceeds the %.0f%% budget",
+			100*overhead, 100*tolerance)
+	}
+	data, err := os.ReadFile(path)
+	switch {
+	case record || os.IsNotExist(err):
+		base := baselineRecord{
+			InjectionNsOp: offNsOp,
+			Recorded:      time.Now().UTC().Format(time.RFC3339),
+			Go:            runtime.Version(),
+		}
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sfi-bench: recorded baseline %.0f ns/op to %s\n", offNsOp, path)
+		return nil
+	case err != nil:
+		return err
+	}
+	var base baselineRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if base.InjectionNsOp <= 0 {
+		return fmt.Errorf("baseline %s has no injection_ns_op", path)
+	}
+	delta := (offNsOp - base.InjectionNsOp) / base.InjectionNsOp
+	fmt.Fprintf(os.Stderr, "sfi-bench: no-op path %.0f ns/op vs baseline %.0f (%+.2f%%)\n",
+		offNsOp, base.InjectionNsOp, 100*delta)
+	if delta > tolerance {
+		return fmt.Errorf("BenchmarkInjection with no-op observability regressed %.2f%% "+
+			"vs the recorded baseline (budget %.0f%%; re-record with sfi-bench -record "+
+			"if the baseline is stale)", 100*delta, 100*tolerance)
+	}
+	fmt.Fprintln(os.Stderr, "sfi-bench: overhead guard passed")
+	return nil
+}
+
+// measureInjectionPaired times the single-injection hot path with
+// observability off and on. The two sides alternate in rounds on the SAME
+// runner over the SAME bit sequence, and the minimum per-injection time
+// across rounds is kept for each side. Interleaving means a load burst on
+// the host degrades both sides of a round equally instead of poisoning one
+// — running the off and on benchmarks back-to-back (as `go test -count`
+// does) was observed to report ±25% phantom overhead on a busy box.
+// BenchmarkInjection/BenchmarkInjectionObserved remain the `go test`-native
+// view of the same comparison.
+func measureInjectionPaired(rounds int) (offNs, onNs float64, err error) {
+	cfg := sfi.DefaultRunnerConfig()
+	cfg.AVP.Testcases = 8 // benchRunner() scale: small AVP, full model
+	cfg.AVP.BodyOps = 24
+	r, err := sfi.NewRunner(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	names := make([]string, len(sfi.Outcomes)+1)
+	for _, o := range sfi.Outcomes {
+		names[int(o)] = o.String()
+	}
+	m := obs.New(names)
+	sink := obs.NewTraceSink(io.Discard, obs.TraceOptions{})
+	total := r.Core().DB().TotalBits()
+
+	const perRound = 100
+	bit := func(i int) int { return (i * 7919) % total }
+	phase := func(start int) time.Duration {
+		t0 := time.Now()
+		for i := 0; i < perRound; i++ {
+			r.RunInjection(bit(start + i))
+		}
+		return time.Since(t0)
+	}
+	for i := 0; i < perRound; i++ { // warm caches and the dirty-restore path
+		r.RunInjection(bit(i))
+	}
+	offBest, onBest := time.Duration(1<<62), time.Duration(1<<62)
+	for round := 0; round < rounds; round++ {
+		start := round * perRound
+		r.SetObs(nil, nil)
+		if d := phase(start); d < offBest {
+			offBest = d
+		}
+		r.SetObs(m, sink)
+		if d := phase(start); d < onBest {
+			onBest = d
+		}
+	}
+	return float64(offBest.Nanoseconds()) / perRound,
+		float64(onBest.Nanoseconds()) / perRound, nil
+}
+
+// goBench runs the selected benchmarks and returns the combined output.
+func goBench(pkg, pattern, benchtime string, count int) (string, error) {
+	args := []string{"test", "-run", "xxx", "-bench", pattern,
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), pkg}
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out), nil
+}
+
+// benchLine matches `BenchmarkName[-P]  N  123 ns/op  456 unit ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBench extracts every benchmark result line from go test output.
+func parseBench(out string) map[string][]sample {
+	res := make(map[string][]sample)
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		s := sample{metrics: make(map[string]float64)}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				s.nsPerOp = v
+			} else {
+				s.metrics[fields[i+1]] = v
+			}
+		}
+		res[m[1]] = append(res[m[1]], s)
+	}
+	return res
+}
+
+// best returns the fastest (minimum ns/op) sample for a benchmark; for
+// throughput metrics it keeps the maximum observed value of each metric.
+func best(samples map[string][]sample, name string) (sample, error) {
+	ss := samples[name]
+	if len(ss) == 0 {
+		return sample{}, fmt.Errorf("no result for %s", name)
+	}
+	out := ss[0]
+	for _, s := range ss[1:] {
+		if s.nsPerOp < out.nsPerOp {
+			out.nsPerOp = s.nsPerOp
+		}
+		for k, v := range s.metrics {
+			if v > out.metrics[k] {
+				out.metrics[k] = v
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"sfi/internal/latch"
+	"sfi/internal/obs"
 )
 
 // CampaignConfig describes a statistical fault-injection campaign.
@@ -41,6 +44,49 @@ type CampaignConfig struct {
 	// cloning the warmed prototype. Kept as the slow reference path for
 	// benchmarking campaign start-up cost.
 	NoClone bool
+
+	// Obs configures campaign observability (metrics, injection traces,
+	// live progress). The zero value is fully off and costs ~nothing.
+	Obs ObsConfig
+}
+
+// ObsConfig selects which observability features a campaign runs with. The
+// zero value disables everything.
+type ObsConfig struct {
+	// Metrics collects per-worker metrics (outcome counters, latency and
+	// cycle histograms) and attaches the merged snapshot to the Report.
+	Metrics bool
+
+	// Trace, when non-nil, receives one structured lifecycle event per
+	// injection (subject to the sink's own sampling/bounding).
+	Trace *obs.TraceSink
+
+	// Progress, when non-nil, is called periodically from a dedicated
+	// goroutine while the campaign runs (never concurrently with itself),
+	// and once more after the last injection completes. Setting it
+	// implicitly enables metrics collection.
+	Progress func(Progress)
+
+	// ProgressEvery is the callback period (default 1s).
+	ProgressEvery time.Duration
+}
+
+// Progress is a point-in-time view of a running campaign.
+type Progress struct {
+	Done    int           // injections classified so far
+	Total   int           // campaign size
+	Workers int           // concurrent model copies
+	Elapsed time.Duration // since sampling finished and workers started
+	Rate    float64       // injections/second so far
+	ETA     time.Duration // naive remaining-work estimate at the current rate
+	// Outcomes is the running outcome mix.
+	Outcomes map[Outcome]uint64
+	// Utilization is the fraction of worker wall-time spent inside
+	// injections (1.0 = all workers busy the whole time).
+	Utilization float64
+	// Metrics is the merged cross-worker snapshot this view was derived
+	// from — live campaign state for debug endpoints (expvar, /metrics).
+	Metrics *obs.Snapshot
 }
 
 // DefaultCampaignConfig returns a whole-core random campaign configuration.
@@ -66,6 +112,12 @@ type Report struct {
 	ByUnit  map[string]map[Outcome]int
 	ByType  map[latch.Type]map[Outcome]int
 	Results []Result // per-injection detail when KeepResults
+
+	// Workers is the number of concurrent model copies the campaign ran.
+	Workers int
+	// Metrics is the merged cross-worker metrics snapshot, present when
+	// ObsConfig enabled metrics collection (nil otherwise).
+	Metrics *obs.Snapshot
 }
 
 // Fraction returns the fraction of injections with outcome o.
@@ -136,13 +188,50 @@ var newWorkerRunner = func(proto *Runner, cfg CampaignConfig) (*Runner, error) {
 	return proto.Clone(), nil
 }
 
+// outcomeNames maps Outcome codes to their reporting names, indexed by the
+// integer code, for obs collectors.
+func outcomeNames() []string {
+	names := make([]string, len(Outcomes)+1)
+	for _, o := range Outcomes {
+		names[int(o)] = o.String()
+	}
+	return names
+}
+
+// progressFrom derives a Progress view from a merged metrics snapshot.
+func progressFrom(s *obs.Snapshot, total, workers int, start time.Time) Progress {
+	elapsed := time.Since(start)
+	p := Progress{
+		Done:     int(s.Injections),
+		Total:    total,
+		Workers:  workers,
+		Elapsed:  elapsed,
+		Outcomes: make(map[Outcome]uint64, len(Outcomes)),
+		Metrics:  s,
+	}
+	for _, o := range Outcomes {
+		if n := s.Outcomes[o.String()]; n > 0 {
+			p.Outcomes[o] = n
+		}
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		p.Rate = float64(p.Done) / sec
+		p.Utilization = float64(s.BusyNs) / (float64(workers) * float64(elapsed.Nanoseconds()))
+	}
+	if p.Rate > 0 && p.Done < p.Total {
+		p.ETA = time.Duration(float64(p.Total-p.Done) / p.Rate * float64(time.Second))
+	}
+	return p
+}
+
 // RunCampaign executes a campaign: it samples Flips latch bits from the
 // filtered population and classifies every injection, fanning the work out
 // over concurrent model copies. The AVP is generated and warmed once, in
 // the prototype runner; the other workers are warm clones of it (unless
 // NoClone is set). A worker that fails to start aborts the campaign: the
-// dispatcher stops handing out injections as soon as the failure is
-// reported and the error is returned.
+// dispatcher stops handing out injections as soon as the first failure is
+// reported, and every distinct worker error is surfaced in the returned
+// (joined) error so multi-worker failures aren't masked by the first one.
 func RunCampaign(cfg CampaignConfig) (*Report, error) {
 	if cfg.Flips < 1 {
 		return nil, fmt.Errorf("core: campaign needs at least one flip")
@@ -164,6 +253,35 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) {
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5f1))
 	bits := first.Core().DB().SampleBits(rng, cfg.Flips, cfg.Filter)
 
+	// Observability: each worker records into its own collector (no shared
+	// cache lines on the hot path); progress and the final Report merge the
+	// per-worker snapshots. A Progress callback implies metrics.
+	collect := cfg.Obs.Metrics || cfg.Obs.Progress != nil
+	var metrics []*obs.Metrics
+	if collect {
+		names := outcomeNames()
+		metrics = make([]*obs.Metrics, workers)
+		for w := range metrics {
+			metrics[w] = obs.New(names)
+		}
+	}
+	workerObs := func(w int) *obs.Metrics {
+		if metrics == nil {
+			return nil
+		}
+		return metrics[w]
+	}
+	mergedSnapshot := func() *obs.Snapshot {
+		s := obs.NewSnapshot()
+		for _, m := range metrics {
+			s.Merge(m.Snapshot())
+		}
+		return s
+	}
+	if collect || cfg.Obs.Trace != nil {
+		first.SetObs(workerObs(0), cfg.Obs.Trace)
+	}
+
 	results := make([]Result, len(bits))
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -177,6 +295,34 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) {
 	}
 
 	wg.Add(workers)
+	start := time.Now()
+
+	// Live progress: a single reporting goroutine snapshots the per-worker
+	// collectors on a ticker, so the callback never runs concurrently with
+	// itself and workers are never blocked on it.
+	var stopProg, progDone chan struct{}
+	if cfg.Obs.Progress != nil {
+		every := cfg.Obs.ProgressEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		stopProg = make(chan struct{})
+		progDone = make(chan struct{})
+		go func() {
+			defer close(progDone)
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopProg:
+					return
+				case <-t.C:
+					cfg.Obs.Progress(progressFrom(mergedSnapshot(), len(bits), workers, start))
+				}
+			}
+		}()
+	}
+
 	go worker(first)
 	for w := 1; w < workers; w++ {
 		go func() {
@@ -186,36 +332,64 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) {
 				wg.Done()
 				return
 			}
+			r.SetObs(workerObs(w), cfg.Obs.Trace)
 			worker(r)
 		}()
 	}
 
 	// Fail-fast dispatch: stop handing out work the moment a worker
 	// reports a start failure instead of draining the whole campaign.
-	var startErr error
+	var errs []error
 dispatch:
 	for i := range bits {
 		select {
-		case startErr = <-errCh:
+		case e := <-errCh:
+			errs = append(errs, e)
 			break dispatch
 		case next <- i:
 		}
 	}
 	close(next)
 	wg.Wait()
-	if startErr == nil {
+	if stopProg != nil {
+		close(stopProg)
+		<-progDone
+	}
+	// Collect every worker failure (all goroutines have exited, so errCh
+	// holds everything that was reported) and surface the distinct ones.
+drain:
+	for {
 		select {
-		case startErr = <-errCh:
+		case e := <-errCh:
+			errs = append(errs, e)
 		default:
+			break drain
 		}
 	}
-	if startErr != nil {
-		return nil, startErr
+	if len(errs) > 0 {
+		seen := make(map[string]bool, len(errs))
+		distinct := errs[:0]
+		for _, e := range errs {
+			if !seen[e.Error()] {
+				seen[e.Error()] = true
+				distinct = append(distinct, e)
+			}
+		}
+		return nil, errors.Join(distinct...)
 	}
 
 	rep := newReport()
 	for _, res := range results {
 		rep.add(res, cfg.KeepResults)
+	}
+	rep.Workers = workers
+	if collect {
+		rep.Metrics = mergedSnapshot()
+	}
+	if cfg.Obs.Progress != nil {
+		// One final, complete update (the ticker goroutine has stopped, so
+		// this never races with a periodic call).
+		cfg.Obs.Progress(progressFrom(rep.Metrics, len(bits), workers, start))
 	}
 	return rep, nil
 }

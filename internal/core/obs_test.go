@@ -1,0 +1,277 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sfi/internal/obs"
+)
+
+// TestCampaignTraceJSONL runs a multi-worker campaign with a trace sink and
+// checks the stream is well-formed JSONL with exactly one event per
+// injection, and that the per-outcome event counts equal the Report
+// aggregates.
+func TestCampaignTraceJSONL(t *testing.T) {
+	var buf syncBuffer
+	sink := obs.NewTraceSink(&buf, obs.TraceOptions{})
+	cfg := fastCampaignConfig()
+	cfg.Flips = 80
+	cfg.Workers = 3
+	cfg.Obs.Trace = sink
+	cfg.Obs.Metrics = true
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Recorded() != int64(rep.Total) {
+		t.Fatalf("recorded %d events, %d injections", sink.Recorded(), rep.Total)
+	}
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != rep.Total {
+		t.Fatalf("%d JSONL lines, want %d", len(lines), rep.Total)
+	}
+	byOutcome := make(map[string]int)
+	seenBits := make(map[int]int)
+	for i, ln := range lines {
+		var ev obs.TraceEvent
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		if ev.Unit == "" || ev.Group == "" || ev.Outcome == "" || ev.LatchType == "" {
+			t.Fatalf("line %d missing identity fields: %+v", i, ev)
+		}
+		if ev.TS == 0 {
+			t.Fatalf("line %d missing timestamp", i)
+		}
+		byOutcome[ev.Outcome]++
+		seenBits[ev.Bit]++
+	}
+	for _, o := range Outcomes {
+		if byOutcome[o.String()] != rep.Counts[o] {
+			t.Errorf("trace %s events = %d, report = %d",
+				o, byOutcome[o.String()], rep.Counts[o])
+		}
+	}
+	// Sampling without replacement: every event is a distinct bit.
+	for bit, n := range seenBits {
+		if n != 1 {
+			t.Errorf("bit %d traced %d times", bit, n)
+		}
+	}
+}
+
+// TestCampaignMetricsMatchReport checks that the merged metrics snapshot
+// agrees exactly with the Report aggregates, per outcome, unit and type.
+func TestCampaignMetricsMatchReport(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Flips = 100
+	cfg.Workers = 4
+	cfg.Obs.Metrics = true
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rep.Metrics
+	if snap == nil {
+		t.Fatal("no metrics snapshot on report")
+	}
+	if snap.Injections != uint64(rep.Total) {
+		t.Errorf("metrics injections %d, report total %d", snap.Injections, rep.Total)
+	}
+	for _, o := range Outcomes {
+		if int(snap.Outcomes[o.String()]) != rep.Counts[o] {
+			t.Errorf("outcome %s: metrics %d, report %d",
+				o, snap.Outcomes[o.String()], rep.Counts[o])
+		}
+	}
+	for unit, m := range rep.ByUnit {
+		for o, n := range m {
+			if int(snap.ByUnit[unit][o.String()]) != n {
+				t.Errorf("unit %s outcome %s: metrics %d, report %d",
+					unit, o, snap.ByUnit[unit][o.String()], n)
+			}
+		}
+	}
+	for ty, m := range rep.ByType {
+		for o, n := range m {
+			if int(snap.ByType[ty.String()][o.String()]) != n {
+				t.Errorf("type %s outcome %s: metrics %d, report %d",
+					ty, o, snap.ByType[ty.String()][o.String()], n)
+			}
+		}
+	}
+	// Every injection restores a checkpoint and runs a propagation window.
+	if snap.Restores < uint64(rep.Total) {
+		t.Errorf("restores %d < injections %d", snap.Restores, rep.Total)
+	}
+	if snap.PropagateCycles.Count != uint64(rep.Total) {
+		t.Errorf("propagation windows %d, injections %d",
+			snap.PropagateCycles.Count, rep.Total)
+	}
+	if snap.InjectionNs.Count != uint64(rep.Total) || snap.BusyNs == 0 {
+		t.Errorf("injection latency count %d, busyNs %d",
+			snap.InjectionNs.Count, snap.BusyNs)
+	}
+	// Detection latencies are recorded for exactly the detected results.
+	detected := 0
+	for _, res := range rep.Results {
+		if res.Detected {
+			detected++
+		}
+	}
+	if int(snap.DetectCycles.Count) != detected {
+		t.Errorf("detect histogram count %d, detected results %d",
+			snap.DetectCycles.Count, detected)
+	}
+}
+
+// TestCampaignProgressCallback runs a cloned multi-worker campaign with a
+// fast progress callback — the -race exercise for the progress path — and
+// checks the final update is complete and consistent.
+func TestCampaignProgressCallback(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Flips = 60
+	cfg.Workers = 4
+	cfg.Obs.ProgressEvery = time.Millisecond
+	var mu sync.Mutex
+	var calls int
+	var last Progress
+	cfg.Obs.Progress = func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if p.Done < last.Done {
+			t.Errorf("progress went backwards: %d -> %d", last.Done, p.Done)
+		}
+		if p.Done > p.Total {
+			t.Errorf("done %d > total %d", p.Done, p.Total)
+		}
+		last = p
+	}
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	if last.Done != rep.Total || last.Total != rep.Total {
+		t.Errorf("final progress %d/%d, want %d/%d", last.Done, last.Total, rep.Total, rep.Total)
+	}
+	if last.Workers != 4 || rep.Workers != 4 {
+		t.Errorf("workers: progress %d, report %d, want 4", last.Workers, rep.Workers)
+	}
+	var mix uint64
+	for _, n := range last.Outcomes {
+		mix += n
+	}
+	if int(mix) != rep.Total {
+		t.Errorf("final outcome mix sums to %d, want %d", mix, rep.Total)
+	}
+	// Progress implies metrics: the report carries the snapshot.
+	if rep.Metrics == nil {
+		t.Error("progress-enabled campaign returned no metrics snapshot")
+	}
+}
+
+// TestCampaignObservabilityOffByDefault: a default campaign must not
+// allocate collectors or attach a snapshot.
+func TestCampaignObservabilityOffByDefault(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Flips = 10
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics != nil {
+		t.Error("metrics snapshot present with observability off")
+	}
+}
+
+// TestCampaignTraceSampling: a sampling sink records every Nth injection.
+func TestCampaignTraceSampling(t *testing.T) {
+	var buf syncBuffer
+	sink := obs.NewTraceSink(&buf, obs.TraceOptions{Sample: 4})
+	cfg := fastCampaignConfig()
+	cfg.Flips = 40
+	cfg.Obs.Trace = sink
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Recorded() != 10 || sink.Dropped() != int64(rep.Total-10) {
+		t.Errorf("sample=4 over %d: recorded %d, dropped %d",
+			rep.Total, sink.Recorded(), sink.Dropped())
+	}
+}
+
+// TestCampaignAllWorkerErrorsSurfaced forces every worker constructor to
+// fail with a distinct error and checks they all appear in the returned
+// error instead of only the first.
+func TestCampaignAllWorkerErrorsSurfaced(t *testing.T) {
+	sentinelA := errors.New("constructor failure alpha")
+	sentinelB := errors.New("constructor failure beta")
+	old := newWorkerRunner
+	var n int
+	var mu sync.Mutex
+	newWorkerRunner = func(proto *Runner, cfg CampaignConfig) (*Runner, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		if n%2 == 0 {
+			return nil, sentinelA
+		}
+		return nil, sentinelB
+	}
+	defer func() { newWorkerRunner = old }()
+
+	cfg := fastCampaignConfig()
+	cfg.Workers = 4
+	cfg.Flips = 4000
+	_, err := RunCampaign(cfg)
+	if err == nil {
+		t.Fatal("no error from all-workers-failed campaign")
+	}
+	if !errors.Is(err, sentinelA) || !errors.Is(err, sentinelB) {
+		t.Fatalf("joined error missing a distinct failure: %v", err)
+	}
+	// Duplicate messages are deduplicated: each worker's message is unique
+	// (it carries the worker index), so here every reported one appears once.
+	msg := err.Error()
+	for _, w := range []string{"worker 1", "worker 2", "worker 3"} {
+		if strings.Count(msg, w) > 1 {
+			t.Errorf("worker error %q duplicated in %q", w, msg)
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer (the trace sink serializes
+// writes, but String() may race with late writers in misuse scenarios; the
+// guard keeps the tests -race clean regardless).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

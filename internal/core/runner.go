@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sfi/internal/avp"
 	"sfi/internal/emu"
 	"sfi/internal/latch"
+	"sfi/internal/obs"
 	"sfi/internal/proc"
 )
 
@@ -96,6 +98,22 @@ type Runner struct {
 
 	ckpts     []phasedCheckpoint
 	baseRecov uint64
+
+	// Observability (nil = off, the default): obs collects metrics, trace
+	// records per-injection lifecycle events. Set via SetObs; clones do not
+	// inherit them (each campaign worker gets its own collector).
+	obs   *obs.Metrics
+	trace *obs.TraceSink
+}
+
+// SetObs attaches a metrics collector and/or trace sink to the runner (nil
+// detaches either; the default is fully off). The collector is threaded
+// down into the engine and core so restore latencies and propagation cycle
+// counts are captured at their source.
+func (r *Runner) SetObs(m *obs.Metrics, trace *obs.TraceSink) {
+	r.obs = m
+	r.trace = trace
+	r.eng.SetObs(m)
 }
 
 // NewRunner builds, warms and checkpoints a runner.
@@ -198,9 +216,22 @@ func (r *Runner) Program() *avp.Program { return r.prog }
 // flip and observes the machine, returning the classified result.
 func (r *Runner) RunInjection(bit int) Result {
 	h := splitmix64(uint64(bit))
-	ph := r.ckpts[h%uint64(len(r.ckpts))]
+	ckIdx := int(h % uint64(len(r.ckpts)))
+	ph := r.ckpts[ckIdx]
 	delay := int((h >> 16) % 197) // sub-testcase phase jitter, in cycles
+
+	// Observability is off (nil) by default; the instrumented path times
+	// the restore and propagation phases for metrics and trace events.
+	observed := r.obs != nil || r.trace != nil
+	var t0 time.Time
+	var restoreNs int64
+	if observed {
+		t0 = time.Now()
+	}
 	r.eng.ReloadFrom(ph.ck)
+	if observed {
+		restoreNs = time.Since(t0).Nanoseconds()
+	}
 	c := r.eng.Core()
 	db := c.DB()
 	nextTC := ph.nextTC
@@ -255,7 +286,15 @@ func (r *Runner) RunInjection(bit int) Result {
 		return r.cfg.QuiesceExit == 0 || cleanEnds < r.cfg.QuiesceExit
 	}
 
+	var p0 time.Time
+	if observed {
+		p0 = time.Now()
+	}
 	run := r.eng.Run(r.cfg.Window, onTestEnd)
+	var propagateNs int64
+	if observed {
+		propagateNs = time.Since(p0).Nanoseconds()
+	}
 	res.Cycles = run.Cycles
 	res.TestEnds = run.TestEnds
 	res.Recoveries = c.Recoveries - r.baseRecov
@@ -277,6 +316,35 @@ func (r *Runner) RunInjection(bit int) Result {
 		res.Outcome = Corrected
 	default:
 		res.Outcome = Vanished
+	}
+
+	if r.obs != nil {
+		r.obs.ObserveInjection(uint64(time.Since(t0).Nanoseconds()))
+		r.obs.IncOutcome(int(res.Outcome), res.Unit, res.LatchType.String())
+		if res.Detected {
+			r.obs.ObserveDetect(res.DetectLatency)
+		}
+	}
+	if r.trace != nil {
+		r.trace.Record(&obs.TraceEvent{
+			TS:            t0.UnixNano(),
+			Bit:           res.Bit,
+			Group:         res.Group,
+			Unit:          res.Unit,
+			LatchType:     res.LatchType.String(),
+			Checkpoint:    ckIdx,
+			DelayCycles:   delay,
+			RestoreNs:     restoreNs,
+			PropagateNs:   propagateNs,
+			Cycles:        res.Cycles,
+			TestEnds:      res.TestEnds,
+			Outcome:       res.Outcome.String(),
+			Detected:      res.Detected,
+			FirstChecker:  res.FirstChecker,
+			DetectLatency: res.DetectLatency,
+			Recoveries:    res.Recoveries,
+			FIR:           r.eng.FIRNames(),
+		})
 	}
 	return res
 }

@@ -9,6 +9,7 @@ package emu
 import (
 	"fmt"
 
+	"sfi/internal/obs"
 	"sfi/internal/proc"
 )
 
@@ -47,6 +48,11 @@ type Engine struct {
 	core *proc.Core
 	ckpt *proc.ModelCheckpoint
 
+	// obs is the optional metrics collector (nil = off). The engine
+	// batches its cycle accounting per monitored Run rather than per Step,
+	// so the per-cycle hot path carries no instrumentation at all.
+	obs *obs.Metrics
+
 	// Active sticky force, if any.
 	stickyBit   int
 	stickyVal   bool
@@ -61,6 +67,27 @@ func New(core *proc.Core) *Engine {
 
 // Core exposes the underlying model.
 func (e *Engine) Core() *proc.Core { return e.core }
+
+// SetObs attaches a metrics collector to the engine and its core (nil
+// detaches, the default). Monitored runs then record their cycle counts
+// and the core times its checkpoint restores.
+func (e *Engine) SetObs(m *obs.Metrics) {
+	e.obs = m
+	e.core.SetObs(m)
+}
+
+// FIRNames returns the names of the checkers whose fault-isolation-register
+// bits are currently set — the engine-level FIR poll the paper's host does
+// after each injection, used for structured trace events.
+func (e *Engine) FIRNames() []string {
+	var out []string
+	for _, ch := range e.core.Checkers() {
+		if e.core.FIRBit(ch.ID) {
+			out = append(out, ch.Name)
+		}
+	}
+	return out
+}
 
 // SaveCheckpoint captures the model state for later Reload calls.
 func (e *Engine) SaveCheckpoint() {
@@ -143,6 +170,14 @@ type RunStats struct {
 // also stops on checkstop, halt, a detected hang, or harness-level loss of
 // forward progress.
 func (e *Engine) Run(maxCycles int, onTestEnd func() bool) RunStats {
+	st := e.run(maxCycles, onTestEnd)
+	if e.obs != nil {
+		e.obs.ObserveRun(st.Cycles)
+	}
+	return st
+}
+
+func (e *Engine) run(maxCycles int, onTestEnd func() bool) RunStats {
 	var st RunStats
 	c := e.core
 	lastCompleted := c.Completed

@@ -1,0 +1,235 @@
+// Package obs is the campaign observability layer: lock-cheap atomic
+// metrics (outcome counters per unit and latch type, latency and cycle
+// histograms), structured per-injection trace events, and exporters
+// (expvar, Prometheus text). It sits below every other internal package —
+// proc, emu and core all accept an optional *Metrics — and the whole layer
+// is off by default: every Metrics method is nil-safe, so uninstrumented
+// runs pay only a nil pointer test on the hot path (guarded by the
+// overhead benchmark and the make ci overhead gate).
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics collects one worker's (or one process's) campaign counters. All
+// mutators are safe for concurrent use and safe on a nil receiver (no-op),
+// so instrumentation sites never need an enable flag beyond the pointer
+// itself. For contention-free collection give each campaign worker its own
+// Metrics and merge the Snapshots.
+type Metrics struct {
+	outcomeNames []string // index = outcome code; fixed at construction
+
+	injections atomic.Uint64
+	restores   atomic.Uint64
+	cycles     atomic.Uint64 // cycles clocked during observed propagation windows
+	busyNs     atomic.Uint64 // wall nanoseconds spent inside RunInjection
+
+	outcomes []atomic.Uint64 // index = outcome code
+	byUnit   sync.Map        // unit name -> *[]atomic.Uint64 (len = len(outcomes))
+	byType   sync.Map        // latch-type name -> *[]atomic.Uint64
+
+	injectionNs     Hist // whole-injection latency (restore..classify), ns
+	restoreNs       Hist // checkpoint-restore latency, ns (timed in proc)
+	propagateCycles Hist // cycles per observed propagation window
+	detectCycles    Hist // cycles from flip to first checker detection
+}
+
+// New builds a Metrics collector. outcomeNames maps outcome codes to their
+// reporting names (index = code); codes at or above len(outcomeNames) are
+// rendered as "outcome<code>".
+func New(outcomeNames []string) *Metrics {
+	m := &Metrics{
+		outcomeNames: append([]string(nil), outcomeNames...),
+		outcomes:     make([]atomic.Uint64, len(outcomeNames)),
+	}
+	return m
+}
+
+func (m *Metrics) outcomeName(code int) string {
+	if code >= 0 && code < len(m.outcomeNames) && m.outcomeNames[code] != "" {
+		return m.outcomeNames[code]
+	}
+	return fmt.Sprintf("outcome%d", code)
+}
+
+// vec returns the per-outcome counter row for key in the given map,
+// creating it on first use.
+func (m *Metrics) vec(mp *sync.Map, key string) []atomic.Uint64 {
+	if v, ok := mp.Load(key); ok {
+		return *v.(*[]atomic.Uint64)
+	}
+	row := make([]atomic.Uint64, len(m.outcomes))
+	v, _ := mp.LoadOrStore(key, &row)
+	return *v.(*[]atomic.Uint64)
+}
+
+// ObserveInjection records one completed injection's wall latency.
+func (m *Metrics) ObserveInjection(ns uint64) {
+	if m == nil {
+		return
+	}
+	m.injections.Add(1)
+	m.busyNs.Add(ns)
+	m.injectionNs.Observe(ns)
+}
+
+// ObserveRestore records one checkpoint-restore latency.
+func (m *Metrics) ObserveRestore(ns uint64) {
+	if m == nil {
+		return
+	}
+	m.restores.Add(1)
+	m.restoreNs.Observe(ns)
+}
+
+// ObserveRun records the cycle count of one observed propagation window.
+func (m *Metrics) ObserveRun(cycles uint64) {
+	if m == nil {
+		return
+	}
+	m.cycles.Add(cycles)
+	m.propagateCycles.Observe(cycles)
+}
+
+// ObserveDetect records a cycles-to-first-detection latency.
+func (m *Metrics) ObserveDetect(cycles uint64) {
+	if m == nil {
+		return
+	}
+	m.detectCycles.Observe(cycles)
+}
+
+// IncOutcome counts one classified injection under its outcome code, unit
+// and latch-type.
+func (m *Metrics) IncOutcome(code int, unit, latchType string) {
+	if m == nil {
+		return
+	}
+	if code >= 0 && code < len(m.outcomes) {
+		m.outcomes[code].Add(1)
+	}
+	if unit != "" {
+		row := m.vec(&m.byUnit, unit)
+		if code >= 0 && code < len(row) {
+			row[code].Add(1)
+		}
+	}
+	if latchType != "" {
+		row := m.vec(&m.byType, latchType)
+		if code >= 0 && code < len(row) {
+			row[code].Add(1)
+		}
+	}
+}
+
+// Snapshot copies the live counters into a plain typed struct. Safe to call
+// while workers are still recording (monitoring reads); for exact totals
+// snapshot after the campaign has finished.
+func (m *Metrics) Snapshot() *Snapshot {
+	s := NewSnapshot()
+	if m == nil {
+		return s
+	}
+	s.Injections = m.injections.Load()
+	s.Restores = m.restores.Load()
+	s.Cycles = m.cycles.Load()
+	s.BusyNs = m.busyNs.Load()
+	for code := range m.outcomes {
+		if n := m.outcomes[code].Load(); n > 0 {
+			s.Outcomes[m.outcomeName(code)] = n
+		}
+	}
+	copyVecs := func(mp *sync.Map, dst map[string]map[string]uint64) {
+		mp.Range(func(k, v any) bool {
+			row := *v.(*[]atomic.Uint64)
+			out := make(map[string]uint64)
+			for code := range row {
+				if n := row[code].Load(); n > 0 {
+					out[m.outcomeName(code)] = n
+				}
+			}
+			if len(out) > 0 {
+				dst[k.(string)] = out
+			}
+			return true
+		})
+	}
+	copyVecs(&m.byUnit, s.ByUnit)
+	copyVecs(&m.byType, s.ByType)
+	s.InjectionNs = m.injectionNs.Snapshot()
+	s.RestoreNs = m.restoreNs.Snapshot()
+	s.PropagateCycles = m.propagateCycles.Snapshot()
+	s.DetectCycles = m.detectCycles.Snapshot()
+	return s
+}
+
+// Snapshot is the plain-value, mergeable view of a Metrics collector — the
+// typed struct campaign reports carry and the exporters serialize.
+type Snapshot struct {
+	Injections uint64 `json:"injections"`
+	Restores   uint64 `json:"restores"`
+	Cycles     uint64 `json:"cycles"`
+	BusyNs     uint64 `json:"busy_ns"`
+
+	Outcomes map[string]uint64            `json:"outcomes"`
+	ByUnit   map[string]map[string]uint64 `json:"by_unit,omitempty"`
+	ByType   map[string]map[string]uint64 `json:"by_type,omitempty"`
+
+	InjectionNs     HistSnapshot `json:"injection_ns"`
+	RestoreNs       HistSnapshot `json:"restore_ns"`
+	PropagateCycles HistSnapshot `json:"propagate_cycles"`
+	DetectCycles    HistSnapshot `json:"detect_cycles"`
+}
+
+// NewSnapshot returns an empty snapshot with its maps allocated.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		Outcomes: make(map[string]uint64),
+		ByUnit:   make(map[string]map[string]uint64),
+		ByType:   make(map[string]map[string]uint64),
+	}
+}
+
+// Merge adds another snapshot into this one — the cross-worker aggregation
+// primitive.
+func (s *Snapshot) Merge(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	s.Injections += o.Injections
+	s.Restores += o.Restores
+	s.Cycles += o.Cycles
+	s.BusyNs += o.BusyNs
+	mergeCounts := func(dst, src map[string]uint64) map[string]uint64 {
+		if len(src) == 0 {
+			return dst
+		}
+		if dst == nil {
+			dst = make(map[string]uint64, len(src))
+		}
+		for k, v := range src {
+			dst[k] += v
+		}
+		return dst
+	}
+	s.Outcomes = mergeCounts(s.Outcomes, o.Outcomes)
+	for k, src := range o.ByUnit {
+		if s.ByUnit == nil {
+			s.ByUnit = make(map[string]map[string]uint64)
+		}
+		s.ByUnit[k] = mergeCounts(s.ByUnit[k], src)
+	}
+	for k, src := range o.ByType {
+		if s.ByType == nil {
+			s.ByType = make(map[string]map[string]uint64)
+		}
+		s.ByType[k] = mergeCounts(s.ByType[k], src)
+	}
+	s.InjectionNs.Merge(o.InjectionNs)
+	s.RestoreNs.Merge(o.RestoreNs)
+	s.PropagateCycles.Merge(o.PropagateCycles)
+	s.DetectCycles.Merge(o.DetectCycles)
+}

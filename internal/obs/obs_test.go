@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistBucketing(t *testing.T) {
+	var h Hist
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, 41}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	want := map[int]uint64{}
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+	if s.Count != uint64(len(cases)) {
+		t.Errorf("count = %d, want %d", s.Count, len(cases))
+	}
+	var sum uint64
+	for _, c := range cases {
+		sum += c.v
+	}
+	if s.Sum != sum {
+		t.Errorf("sum = %d, want %d", s.Sum, sum)
+	}
+}
+
+func TestHistBucketBoundsCoverValues(t *testing.T) {
+	// Every observed value must fall inside its bucket's [lo, hi] range.
+	for _, v := range []uint64{0, 1, 2, 3, 5, 100, 4096, 1<<33 + 7} {
+		var h Hist
+		h.Observe(v)
+		s := h.Snapshot()
+		for i, n := range s.Buckets {
+			if n == 0 {
+				continue
+			}
+			lo, hi := bucketBounds(i)
+			if v < lo || v > hi {
+				t.Errorf("value %d landed in bucket %d spanning [%d,%d]", v, i, lo, hi)
+			}
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	for i := 0; i < 1000; i++ {
+		h.Observe(100) // all mass in one bucket: [64,127]
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		got := s.Quantile(q)
+		if got < 64 || got > 127 {
+			t.Errorf("q%.2f = %d, want within [64,127]", q, got)
+		}
+	}
+	// Two separated modes: the median must sit in the lower, p99 in the upper.
+	var h2 Hist
+	for i := 0; i < 900; i++ {
+		h2.Observe(10)
+	}
+	for i := 0; i < 100; i++ {
+		h2.Observe(100_000)
+	}
+	s2 := h2.Snapshot()
+	if p50 := s2.Quantile(0.5); p50 > 15 {
+		t.Errorf("p50 = %d, want ~10", p50)
+	}
+	if p99 := s2.Quantile(0.99); p99 < 65536 {
+		t.Errorf("p99 = %d, want in the upper mode", p99)
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram quantile/mean not 0")
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for i := uint64(0); i < 100; i++ {
+		a.Observe(i)
+		b.Observe(i * 1000)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	var ref Hist
+	for i := uint64(0); i < 100; i++ {
+		ref.Observe(i)
+		ref.Observe(i * 1000)
+	}
+	if merged != ref.Snapshot() {
+		t.Error("merged snapshot differs from jointly-observed reference")
+	}
+}
+
+var testOutcomes = []string{"", "vanished", "corrected", "hang", "checkstop", "sdc"}
+
+func TestMetricsSnapshotMergeAcrossWorkers(t *testing.T) {
+	// Per-worker collectors recording concurrently; the merged snapshot
+	// must equal the exact totals.
+	const workers, perWorker = 4, 10_000
+	ms := make([]*Metrics, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ms[w] = New(testOutcomes)
+		wg.Add(1)
+		go func(m *Metrics, w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				code := 1 + (i+w)%5
+				m.IncOutcome(code, "LSU", "FUNC")
+				m.ObserveInjection(uint64(1000 + i))
+				m.ObserveRestore(uint64(i))
+				m.ObserveRun(uint64(i % 512))
+				if code == 2 {
+					m.ObserveDetect(uint64(i % 64))
+				}
+			}
+		}(ms[w], w)
+	}
+	wg.Wait()
+	merged := NewSnapshot()
+	for _, m := range ms {
+		merged.Merge(m.Snapshot())
+	}
+	if merged.Injections != workers*perWorker {
+		t.Errorf("injections = %d, want %d", merged.Injections, workers*perWorker)
+	}
+	if merged.Restores != workers*perWorker {
+		t.Errorf("restores = %d", merged.Restores)
+	}
+	var outcomeSum uint64
+	for _, n := range merged.Outcomes {
+		outcomeSum += n
+	}
+	if outcomeSum != workers*perWorker {
+		t.Errorf("outcome counts sum to %d, want %d", outcomeSum, workers*perWorker)
+	}
+	if merged.ByUnit["LSU"]["corrected"] != merged.Outcomes["corrected"] {
+		t.Errorf("by-unit corrected %d != total corrected %d",
+			merged.ByUnit["LSU"]["corrected"], merged.Outcomes["corrected"])
+	}
+	if merged.InjectionNs.Count != workers*perWorker {
+		t.Errorf("injection histogram count = %d", merged.InjectionNs.Count)
+	}
+	if merged.DetectCycles.Count != merged.Outcomes["corrected"] {
+		t.Errorf("detect count %d != corrected %d",
+			merged.DetectCycles.Count, merged.Outcomes["corrected"])
+	}
+}
+
+func TestNilMetricsIsNoOp(t *testing.T) {
+	var m *Metrics
+	m.ObserveInjection(1)
+	m.ObserveRestore(1)
+	m.ObserveRun(1)
+	m.ObserveDetect(1)
+	m.IncOutcome(1, "LSU", "FUNC")
+	s := m.Snapshot()
+	if s.Injections != 0 || len(s.Outcomes) != 0 {
+		t.Error("nil metrics recorded something")
+	}
+	var sink *TraceSink
+	sink.Record(&TraceEvent{})
+	if sink.Recorded() != 0 || sink.Dropped() != 0 || sink.Err() != nil {
+		t.Error("nil sink not inert")
+	}
+}
+
+func TestTraceSinkJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewTraceSink(&buf, TraceOptions{})
+	for i := 0; i < 10; i++ {
+		s.Record(&TraceEvent{Bit: i, Outcome: "vanished", Unit: "IFU"})
+	}
+	if s.Recorded() != 10 || s.Dropped() != 0 {
+		t.Fatalf("recorded %d dropped %d", s.Recorded(), s.Dropped())
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for i, ln := range lines {
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i, err)
+		}
+		if ev.Seq != int64(i) || ev.Bit != i {
+			t.Errorf("line %d: seq %d bit %d", i, ev.Seq, ev.Bit)
+		}
+	}
+}
+
+func TestTraceSinkSamplingAndBound(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewTraceSink(&buf, TraceOptions{Sample: 3})
+	for i := 0; i < 9; i++ {
+		s.Record(&TraceEvent{Bit: i})
+	}
+	if s.Recorded() != 3 || s.Dropped() != 6 {
+		t.Errorf("sample=3 over 9: recorded %d dropped %d", s.Recorded(), s.Dropped())
+	}
+
+	var buf2 bytes.Buffer
+	s2 := NewTraceSink(&buf2, TraceOptions{Max: 5})
+	for i := 0; i < 20; i++ {
+		s2.Record(&TraceEvent{Bit: i})
+	}
+	if s2.Recorded() != 5 || s2.Dropped() != 15 {
+		t.Errorf("max=5 over 20: recorded %d dropped %d", s2.Recorded(), s2.Dropped())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errFail
+	}
+	f.n--
+	return len(p), nil
+}
+
+var errFail = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "forced write failure" }
+
+func TestTraceSinkWriteError(t *testing.T) {
+	s := NewTraceSink(&failWriter{n: 2}, TraceOptions{})
+	for i := 0; i < 5; i++ {
+		s.Record(&TraceEvent{})
+	}
+	if s.Recorded() != 2 || s.Dropped() != 3 {
+		t.Errorf("recorded %d dropped %d", s.Recorded(), s.Dropped())
+	}
+	if s.Err() == nil {
+		t.Error("write error not surfaced")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := New(testOutcomes)
+	m.IncOutcome(1, "IFU", "FUNC")
+	m.IncOutcome(2, "LSU", "MODE")
+	m.ObserveInjection(5000)
+	m.ObserveRestore(900)
+	m.ObserveRun(1200)
+	var buf bytes.Buffer
+	if err := m.Snapshot().WritePrometheus(&buf, "sfi"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"sfi_injections_total 1",
+		`sfi_outcome_total{outcome="vanished"} 1`,
+		`sfi_outcome_total{outcome="corrected"} 1`,
+		`sfi_unit_outcome_total{unit="LSU",outcome="corrected"} 1`,
+		`sfi_latchtype_outcome_total{type="FUNC",outcome="vanished"} 1`,
+		`sfi_restore_ns_bucket{le="+Inf"} 1`,
+		"sfi_restore_ns_sum 900",
+		"sfi_injection_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus dump missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotMergeEmpty(t *testing.T) {
+	s := NewSnapshot()
+	s.Merge(nil)
+	m := New(testOutcomes)
+	m.IncOutcome(1, "IFU", "FUNC")
+	s.Merge(m.Snapshot())
+	if s.Outcomes["vanished"] != 1 {
+		t.Error("merge into empty snapshot lost counts")
+	}
+}

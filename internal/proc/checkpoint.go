@@ -1,6 +1,8 @@
 package proc
 
 import (
+	"time"
+
 	"sfi/internal/array"
 	"sfi/internal/bits"
 	"sfi/internal/latch"
@@ -109,6 +111,16 @@ func (c *Core) SaveCheckpoint() *ModelCheckpoint {
 // restore, plus the checkpoint's own delta) is rewritten; otherwise the
 // full-copy slow path runs.
 func (c *Core) RestoreCheckpoint(ck *ModelCheckpoint) {
+	if c.obs == nil {
+		c.restoreModelCheckpoint(ck)
+		return
+	}
+	start := time.Now()
+	c.restoreModelCheckpoint(ck)
+	c.obs.ObserveRestore(uint64(time.Since(start).Nanoseconds()))
+}
+
+func (c *Core) restoreModelCheckpoint(ck *ModelCheckpoint) {
 	if ck.base != nil && ck.base == c.baseline {
 		c.db.RestoreDelta(ck.latchDelta)
 		c.mem.RestoreDelta(ck.memDelta)

@@ -18,6 +18,7 @@ import (
 	"sfi/internal/array"
 	"sfi/internal/latch"
 	"sfi/internal/mem"
+	"sfi/internal/obs"
 )
 
 // Unit names, matching the paper's Figures 3 and 4.
@@ -97,6 +98,10 @@ type Core struct {
 
 	halted bool
 
+	// obs is the optional metrics collector (nil = observability off, the
+	// default; see SetObs). With it set, checkpoint restores are timed.
+	obs *obs.Metrics
+
 	// baseline identifies the installed restore baseline for the
 	// dirty-tracking checkpoint fast path (nil until
 	// InstallRestoreBaseline; shared by cloned cores).
@@ -149,6 +154,12 @@ func (c *Core) Mem() *mem.Memory { return c.mem }
 
 // Config returns the core's configuration.
 func (c *Core) Config() Config { return c.cfg }
+
+// SetObs attaches a metrics collector to the core (nil detaches, the
+// default). With a collector attached, checkpoint restores are timed into
+// its restore-latency histogram; with nil the hot path pays only this
+// pointer's nil test.
+func (c *Core) SetObs(m *obs.Metrics) { c.obs = m }
 
 // Reset puts the machine into its power-on state: pipeline empty, caches
 // invalid, scan rings at their init values, PC = 0. Memory is untouched.

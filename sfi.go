@@ -20,10 +20,13 @@
 package sfi
 
 import (
+	"io"
+
 	"sfi/internal/beam"
 	"sfi/internal/core"
 	"sfi/internal/emu"
 	"sfi/internal/latch"
+	"sfi/internal/obs"
 	"sfi/internal/proc"
 	"sfi/internal/workload"
 )
@@ -57,6 +60,23 @@ type (
 
 	// InjectionMode is toggle or sticky.
 	InjectionMode = emu.Mode
+
+	// ObsConfig selects campaign observability features (zero value = off).
+	ObsConfig = core.ObsConfig
+	// Progress is a point-in-time view of a running campaign, delivered to
+	// the ObsConfig.Progress callback.
+	Progress = core.Progress
+	// MetricsSnapshot is the merged cross-worker metrics view attached to
+	// a Report when metrics are enabled; it serializes to JSON (expvar) and
+	// Prometheus text (WritePrometheus).
+	MetricsSnapshot = obs.Snapshot
+	// TraceSink receives one structured JSONL lifecycle event per
+	// injection.
+	TraceSink = obs.TraceSink
+	// TraceOptions bounds a TraceSink (sampling stride, max events).
+	TraceOptions = obs.TraceOptions
+	// TraceEvent is one injection's structured lifecycle record.
+	TraceEvent = obs.TraceEvent
 )
 
 // Outcome categories (the paper's Figure 1 vocabulary).
@@ -108,6 +128,20 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) { return core.RunCampaign(
 
 // NewRunner builds, warms and checkpoints a single injection runner.
 func NewRunner(cfg RunnerConfig) (*Runner, error) { return core.NewRunner(cfg) }
+
+// NewTraceSink wraps a writer in a JSONL injection-trace sink (see
+// ObsConfig.Trace). The sink serializes concurrent writers; wrap a
+// *bufio.Writer for high-rate traces and flush it after the campaign.
+func NewTraceSink(w io.Writer, opts TraceOptions) *TraceSink {
+	return obs.NewTraceSink(w, opts)
+}
+
+// PublishMetricsExpvar registers a live metrics view under name in the
+// process-wide expvar registry (served at /debug/vars alongside pprof when
+// an HTTP listener is up). The function is re-evaluated on every scrape.
+func PublishMetricsExpvar(name string, fn func() *MetricsSnapshot) {
+	obs.PublishExpvar(name, fn)
+}
 
 // ByUnit selects one unit's latches for targeted injection.
 func ByUnit(unit string) LatchFilter { return latch.ByUnit(unit) }
