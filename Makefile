@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: build test race vet bench overhead ci
+.PHONY: build bins test race vet bench overhead ci
 
 build:
 	$(GO) build ./...
+
+# bins links every command (including the distributed sfi-coord/sfi-worker
+# pair) into ./bin — the ci proof that all binaries actually build.
+bins:
+	$(GO) build -o bin/ ./cmd/...
 
 test:
 	$(GO) test ./...
@@ -11,10 +16,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The -race pass targets the packages that exercise concurrent model copies:
-# internal/core (campaign fan-out over cloned runners) and internal/emu.
+# The -race pass targets the packages that exercise concurrent model copies
+# and cross-process coordination: internal/core (campaign fan-out over
+# cloned runners), internal/emu, and internal/dist (the loopback
+# coordinator+worker integration tests, HTTP leases and all).
 race:
-	$(GO) test -race ./internal/core ./internal/emu
+	$(GO) test -race ./internal/core ./internal/emu ./internal/dist
 
 # bench runs every benchmark once for a quick smoke, then has sfi-bench
 # re-measure the headline numbers and emit the machine-readable record.
@@ -29,4 +36,4 @@ bench:
 overhead:
 	$(GO) run ./cmd/sfi-bench -guard -baseline BENCH_baseline.json
 
-ci: vet build test race overhead
+ci: vet build bins test race overhead

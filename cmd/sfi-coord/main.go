@@ -1,0 +1,168 @@
+// Command sfi-coord runs the coordinator side of a distributed
+// fault-injection campaign: it shards the campaign into deterministic
+// injection-index ranges, leases shards to sfi-worker processes over HTTP,
+// re-queues shards whose workers die, journals completed shards for
+// restart, and prints the merged report — identical to a single-process
+// run of the same campaign — when the last shard lands.
+//
+// Examples:
+//
+//	sfi-coord -addr :8430 -flips 100000                 # whole-core campaign
+//	sfi-coord -addr :8430 -flips 20000 -unit LSU        # targeted
+//	sfi-coord -addr :8430 -flips 100000 -journal c.jnl  # resumable
+//
+// Then, on each machine:
+//
+//	sfi-worker -coord http://coordhost:8430
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"sfi/internal/core"
+	"sfi/internal/dist"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8430", "listen address for the worker/lease API")
+		flips     = flag.Int("flips", 10000, "number of latch bits to inject")
+		seed      = flag.Uint64("seed", 1, "sampling seed")
+		unit      = flag.String("unit", "", "target one unit")
+		typ       = flag.String("type", "", "target one latch type")
+		macro     = flag.String("macro", "", "target latch groups by name prefix")
+		keep      = flag.Bool("keep-results", false, "retain per-injection results in the merged report")
+		shardSize = flag.Int("shard-size", 0, "injections per shard (0 = ~64 shards)")
+		ttl       = flag.Duration("lease-ttl", 10*time.Second, "shard lease TTL; workers heartbeat at TTL/3")
+		attempts  = flag.Int("max-attempts", 3, "lease grants per shard before the campaign fails")
+		journal   = flag.String("journal", "", "completed-shard journal for coordinator restart ('' = none)")
+		jsonOut   = flag.Bool("json", false, "emit the merged report as JSON")
+		quiet     = flag.Bool("quiet", false, "suppress the periodic progress line")
+	)
+	flag.Parse()
+
+	if err := run(*addr, coordArgs{
+		flips: *flips, seed: *seed, unit: *unit, typ: *typ, macro: *macro,
+		keep: *keep, shardSize: *shardSize, ttl: *ttl, attempts: *attempts,
+		journal: *journal, jsonOut: *jsonOut, quiet: *quiet,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "sfi-coord:", err)
+		os.Exit(1)
+	}
+}
+
+type coordArgs struct {
+	flips            int
+	seed             uint64
+	unit, typ, macro string
+	keep             bool
+	shardSize        int
+	ttl              time.Duration
+	attempts         int
+	journal          string
+	jsonOut          bool
+	quiet            bool
+}
+
+func filterSpec(unit, typ, macro string) (dist.FilterSpec, error) {
+	set := 0
+	var f dist.FilterSpec
+	if unit != "" {
+		f = dist.FilterSpec{Kind: "unit", Arg: unit}
+		set++
+	}
+	if typ != "" {
+		f = dist.FilterSpec{Kind: "type", Arg: typ}
+		set++
+	}
+	if macro != "" {
+		f = dist.FilterSpec{Kind: "prefix", Arg: macro}
+		set++
+	}
+	if set > 1 {
+		return f, fmt.Errorf("use at most one of -unit, -type, -macro")
+	}
+	_, err := f.Filter()
+	return f, err
+}
+
+func run(addr string, a coordArgs) error {
+	filter, err := filterSpec(a.unit, a.typ, a.macro)
+	if err != nil {
+		return err
+	}
+	coord, err := dist.NewCoordinator(dist.CoordConfig{
+		Campaign: dist.CampaignSpec{
+			Runner:      core.DefaultRunnerConfig(),
+			Seed:        a.seed,
+			Flips:       a.flips,
+			Filter:      filter,
+			KeepResults: a.keep,
+		},
+		ShardSize:   a.shardSize,
+		LeaseTTL:    a.ttl,
+		MaxAttempts: a.attempts,
+		Journal:     a.journal,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "coordinator on http://%s (POST /v1/lease, GET /progress, GET /metrics)\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if !a.quiet {
+		go func() {
+			t := time.NewTicker(2 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					p := coord.Progress()
+					fmt.Fprintf(os.Stderr, "\rshards %d/%d done, %d leased — %d/%d injections",
+						p.Done, p.Shards, p.Leased, p.Injections, p.Total)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	rep, err := coord.Wait(ctx)
+	if !a.quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d injections in %v (merged from %d shards)\n",
+		rep.Total, time.Since(start).Round(time.Millisecond), coord.Progress().Shards)
+	if a.jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Print(rep)
+	return nil
+}

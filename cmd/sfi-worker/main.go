@@ -1,0 +1,52 @@
+// Command sfi-worker executes shards of a distributed fault-injection
+// campaign on behalf of an sfi-coord coordinator. It polls for shard
+// leases, builds and warms the model once, runs each leased shard over the
+// warm-clone worker pool, heartbeats while it works, and posts the shard
+// report back. It exits cleanly when the coordinator declares the campaign
+// over.
+//
+// Example:
+//
+//	sfi-worker -coord http://coordhost:8430 -workers 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"sfi/internal/dist"
+)
+
+func main() {
+	var (
+		coord   = flag.String("coord", "http://localhost:8430", "coordinator base URL")
+		id      = flag.String("id", "", "worker id (default host-pid)")
+		workers = flag.Int("workers", 0, "concurrent model copies per shard (0 = campaign default)")
+		poll    = flag.Duration("poll", 250*time.Millisecond, "lease poll period when no shard is available")
+		quiet   = flag.Bool("quiet", false, "suppress per-shard logs")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+	if *quiet {
+		logf = nil
+	}
+	if err := dist.RunWorker(ctx, dist.WorkerConfig{
+		Coordinator: *coord,
+		ID:          *id,
+		Workers:     *workers,
+		PollEvery:   *poll,
+		Logf:        logf,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "sfi-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -17,10 +17,13 @@
 //	sfi -flips 5000 -trace inj.jsonl       # one JSONL event per injection
 //	sfi -flips 5000 -metrics -             # Prometheus text dump to stdout
 //	sfi -flips 50000 -http :6060           # expvar+pprof+/metrics while running
+//	sfi -flips 5000 -dist 4                # distributed smoke: in-process
+//	                                       # coordinator + 4 loopback workers
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,11 +31,13 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
 
 	"sfi"
+	"sfi/internal/dist"
 )
 
 func main() {
@@ -57,6 +62,10 @@ func main() {
 		units    = flag.Bool("units", false, "also print the per-unit breakdown")
 		types    = flag.Bool("types", false, "also print the per-latch-type breakdown")
 
+		// Distributed smoke mode.
+		distN     = flag.Int("dist", 0, "run the campaign through an in-process coordinator with this many loopback workers (exercises the sfi-coord/sfi-worker protocol)")
+		shardSize = flag.Int("shard-size", 0, "injections per shard in -dist mode (0 = ~64 shards)")
+
 		// Observability.
 		trace    = flag.String("trace", "", "write one JSONL lifecycle event per injection to this file")
 		traceSmp = flag.Int("trace-sample", 1, "record every Nth injection in the -trace stream")
@@ -71,6 +80,7 @@ func main() {
 		sticky: *sticky, duration: *duration, span: *span, raw: *raw, noRec: *noRec,
 		window: *window, fixed: *fixed, workers: *workers, nest: *nest,
 		detail: *detail, jsonOut: *jsonOut, causes: *causes, units: *units, types: *types,
+		dist: *distN, shardSize: *shardSize,
 		trace: *trace, traceSample: *traceSmp, metrics: *metrics,
 		httpAddr: *httpAddr, progress: *progress,
 	}); err != nil {
@@ -95,6 +105,9 @@ type campaignArgs struct {
 	jsonOut          bool
 	causes           bool
 	units, types     bool
+
+	dist      int
+	shardSize int
 
 	trace       string
 	traceSample int
@@ -190,6 +203,17 @@ func run(a campaignArgs) error {
 		return fmt.Errorf("use at most one of -unit, -type, -macro")
 	}
 
+	// Distributed smoke mode: run the same campaign through an in-process
+	// coordinator and N loopback workers — the full sfi-coord/sfi-worker
+	// lease protocol over real HTTP, one process.
+	if a.dist > 0 {
+		rep, elapsed, err := runDist(a, cfg)
+		if err != nil {
+			return err
+		}
+		return emit(a, rep, elapsed)
+	}
+
 	// Observability: metrics are always collected (the end-of-run summary
 	// is rendered from the snapshot; measured overhead is <5%, see
 	// EXPERIMENTS.md).
@@ -264,6 +288,12 @@ func run(a campaignArgs) error {
 			return err
 		}
 	}
+	return emit(a, rep, elapsed)
+}
+
+// emit renders a finished campaign report (shared by the local and
+// distributed paths).
+func emit(a campaignArgs, rep *sfi.Report, elapsed time.Duration) error {
 	if a.metrics != "" {
 		out := os.Stdout
 		if a.metrics != "-" {
@@ -319,6 +349,102 @@ func run(a campaignArgs) error {
 		fmt.Print(sfi.TraceReport(rep, 50))
 	}
 	return nil
+}
+
+// runDist executes the campaign through the distributed subsystem: an
+// in-process coordinator on a loopback listener and a.dist workers driving
+// the real lease/heartbeat/complete protocol over HTTP. The merged report
+// is identical (same seed → same outcomes) to the local path's.
+func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration, error) {
+	var fs dist.FilterSpec
+	switch {
+	case a.unit != "":
+		fs = dist.FilterSpec{Kind: "unit", Arg: a.unit}
+	case a.typ != "":
+		fs = dist.FilterSpec{Kind: "type", Arg: a.typ}
+	case a.macro != "":
+		fs = dist.FilterSpec{Kind: "prefix", Arg: a.macro}
+	}
+	// Split the machine's cores across the loopback workers unless the
+	// user pinned a per-shard worker count.
+	shardWorkers := cfg.Workers
+	if shardWorkers <= 0 {
+		shardWorkers = runtime.GOMAXPROCS(0) / a.dist
+		if shardWorkers < 1 {
+			shardWorkers = 1
+		}
+	}
+	coord, err := dist.NewCoordinator(dist.CoordConfig{
+		Campaign: dist.CampaignSpec{
+			Runner:       cfg.Runner,
+			Seed:         cfg.Seed,
+			Flips:        cfg.Flips,
+			Filter:       fs,
+			KeepResults:  cfg.KeepResults,
+			ShardWorkers: shardWorkers,
+		},
+		ShardSize: a.shardSize,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer coord.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, 0, err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "distributed smoke: coordinator on http://%s, %d loopback workers × %d model copies\n",
+		ln.Addr(), a.dist, shardWorkers)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerErr := make(chan error, a.dist)
+	for i := 0; i < a.dist; i++ {
+		go func(i int) {
+			workerErr <- dist.RunWorker(ctx, dist.WorkerConfig{
+				Coordinator: "http://" + ln.Addr().String(),
+				ID:          fmt.Sprintf("loopback-%d", i),
+				PollEvery:   50 * time.Millisecond,
+			})
+		}(i)
+	}
+	if a.progress {
+		go func() {
+			t := time.NewTicker(500 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					p := coord.Progress()
+					line := fmt.Sprintf("shards %d/%d done, %d leased — %d/%d injections",
+						p.Done, p.Shards, p.Leased, p.Injections, p.Total)
+					fmt.Fprintf(os.Stderr, "\r%-78s", line)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	rep, err := coord.Wait(ctx)
+	elapsed := time.Since(start)
+	if a.progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	// Workers exit on their own once the coordinator answers 410.
+	for i := 0; i < a.dist; i++ {
+		if werr := <-workerErr; werr != nil {
+			return nil, 0, werr
+		}
+	}
+	return rep, elapsed, nil
 }
 
 // renderProgress draws one live progress line to w (carriage-return

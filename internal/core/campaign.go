@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -48,6 +49,49 @@ type CampaignConfig struct {
 	// Obs configures campaign observability (metrics, injection traces,
 	// live progress). The zero value is fully off and costs ~nothing.
 	Obs ObsConfig
+
+	// Shard, when non-nil, restricts execution to the half-open
+	// injection-index range [Lo, Hi) of the campaign's deterministic
+	// sample. The full Flips-bit sample is still drawn (it is a pure
+	// function of Seed and Filter, see SampleCampaignBits), so disjoint
+	// shards executed by different processes partition exactly the
+	// injections a single whole-campaign run would perform, and merging
+	// their Reports reproduces the whole-campaign Report.
+	Shard *ShardRange
+}
+
+// ShardRange is a half-open range [Lo, Hi) of injection indices into a
+// campaign's deterministic sample.
+type ShardRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Size returns the number of injections in the shard.
+func (s ShardRange) Size() int { return s.Hi - s.Lo }
+
+// PlanShards splits a flips-injection campaign into contiguous shards of at
+// most shardSize injections (the last shard may be short). shardSize <= 0
+// yields a single whole-campaign shard. The returned shards partition
+// [0, flips) in order, so executing each with CampaignConfig.Shard and
+// merging the Reports in plan order reproduces the single-process Report
+// exactly, kept Results included.
+func PlanShards(flips, shardSize int) []ShardRange {
+	if flips <= 0 {
+		return nil
+	}
+	if shardSize <= 0 || shardSize > flips {
+		shardSize = flips
+	}
+	out := make([]ShardRange, 0, (flips+shardSize-1)/shardSize)
+	for lo := 0; lo < flips; lo += shardSize {
+		hi := lo + shardSize
+		if hi > flips {
+			hi = flips
+		}
+		out = append(out, ShardRange{Lo: lo, Hi: hi})
+	}
+	return out
 }
 
 // ObsConfig selects which observability features a campaign runs with. The
@@ -224,6 +268,19 @@ func progressFrom(s *obs.Snapshot, total, workers int, start time.Time) Progress
 	return p
 }
 
+// SampleCampaignBits draws the campaign's full deterministic injection
+// sample from db: the Flips logical latch-bit indices, in dispatch order.
+// The sample is a pure function of (seed, flips, filter) and the latch
+// database layout — it involves no map iteration, scheduling or other
+// process-local state — so independent processes that build the same model
+// derive bit-for-bit identical samples. That purity is what makes shard
+// partitioning reproducible: shard [Lo, Hi) means injections Lo..Hi-1 of
+// exactly this slice, wherever it executes.
+func SampleCampaignBits(db *latch.DB, seed uint64, flips int, f latch.Filter) []int {
+	rng := rand.New(rand.NewPCG(seed, 0x5f1))
+	return db.SampleBits(rng, flips, f)
+}
+
 // RunCampaign executes a campaign: it samples Flips latch bits from the
 // filtered population and classifies every injection, fanning the work out
 // over concurrent model copies. The AVP is generated and warmed once, in
@@ -233,25 +290,54 @@ func progressFrom(s *obs.Snapshot, total, workers int, start time.Time) Progress
 // reported, and every distinct worker error is surfaced in the returned
 // (joined) error so multi-worker failures aren't masked by the first one.
 func RunCampaign(cfg CampaignConfig) (*Report, error) {
+	return RunCampaignContext(context.Background(), cfg)
+}
+
+// RunCampaignContext is RunCampaign with cancellation: when ctx is
+// cancelled the dispatcher stops handing out injections, in-flight
+// injections run to completion (each is sub-millisecond to
+// low-millisecond), and the campaign returns ctx's error. A distributed
+// coordinator shutting down or a worker losing its shard lease uses this
+// to abandon a shard promptly instead of draining it.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*Report, error) {
 	if cfg.Flips < 1 {
 		return nil, fmt.Errorf("core: campaign needs at least one flip")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Flips {
-		workers = cfg.Flips
-	}
-
 	// The prototype runner: it provides the latch database for sampling,
 	// the warmed checkpoints the clones adopt, and worker 0's model.
 	first, err := NewRunner(cfg.Runner)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5f1))
-	bits := first.Core().DB().SampleBits(rng, cfg.Flips, cfg.Filter)
+	return RunCampaignWith(ctx, first, cfg)
+}
+
+// RunCampaignWith runs a campaign on an already-built prototype runner,
+// which must have been constructed from cfg.Runner. It is the shard
+// execution primitive for distributed workers: building and warming the
+// prototype dominates shard start-up, so a worker process builds it once
+// and runs every leased shard against it (clones are still created per
+// campaign worker as usual). The prototype's observability attachments are
+// reset to cfg.Obs on every call.
+func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*Report, error) {
+	if cfg.Flips < 1 {
+		return nil, fmt.Errorf("core: campaign needs at least one flip")
+	}
+	bits := SampleCampaignBits(first.Core().DB(), cfg.Seed, cfg.Flips, cfg.Filter)
+	if cfg.Shard != nil {
+		s := *cfg.Shard
+		if s.Lo < 0 || s.Hi > cfg.Flips || s.Lo >= s.Hi {
+			return nil, fmt.Errorf("core: shard [%d,%d) out of range for %d flips", s.Lo, s.Hi, cfg.Flips)
+		}
+		bits = bits[s.Lo:s.Hi]
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(bits) {
+		workers = len(bits)
+	}
 
 	// Observability: each worker records into its own collector (no shared
 	// cache lines on the hot path); progress and the final Report merge the
@@ -278,9 +364,9 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) {
 		}
 		return s
 	}
-	if collect || cfg.Obs.Trace != nil {
-		first.SetObs(workerObs(0), cfg.Obs.Trace)
-	}
+	// Unconditional: also detaches any collector a previous campaign on a
+	// reused prototype (RunCampaignWith) left behind.
+	first.SetObs(workerObs(0), cfg.Obs.Trace)
 
 	results := make([]Result, len(bits))
 	var wg sync.WaitGroup
@@ -338,13 +424,17 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) {
 	}
 
 	// Fail-fast dispatch: stop handing out work the moment a worker
-	// reports a start failure instead of draining the whole campaign.
+	// reports a start failure — or the context is cancelled — instead of
+	// draining the whole campaign.
 	var errs []error
 dispatch:
 	for i := range bits {
 		select {
 		case e := <-errCh:
 			errs = append(errs, e)
+			break dispatch
+		case <-ctx.Done():
+			errs = append(errs, fmt.Errorf("core: campaign cancelled: %w", context.Cause(ctx)))
 			break dispatch
 		case next <- i:
 		}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 
+	"sfi/internal/latch"
+	"sfi/internal/obs"
 	"sfi/internal/stats"
 )
 
@@ -12,6 +14,72 @@ import (
 // intervals on the outcome proportions (the error bars behind the paper's
 // Figure 2 argument), detection-latency statistics, and the per-checker
 // coverage table designers use to evaluate their RAS hardware.
+
+// Merge folds another report into r — the shard aggregation primitive for
+// distributed campaigns. Merging the Reports of k disjoint shards of one
+// campaign, in shard order, yields exactly the Report of a single-process
+// run over the union: Total, Counts, ByUnit and ByType add; kept Results
+// concatenate (shard order = sample order, so the concatenation is the
+// single-process Results slice); metrics snapshots merge; Workers reports
+// the widest concurrency seen by any constituent. o is not modified and
+// may share no structure with r afterwards (rows are deep-merged).
+func (r *Report) Merge(o *Report) {
+	if o == nil {
+		return
+	}
+	r.Total += o.Total
+	if r.Counts == nil {
+		r.Counts = make(map[Outcome]int, len(o.Counts))
+	}
+	for oc, n := range o.Counts {
+		r.Counts[oc] += n
+	}
+	mergeRows := func(dst map[string]map[Outcome]int, src map[string]map[Outcome]int) map[string]map[Outcome]int {
+		if len(src) == 0 {
+			return dst
+		}
+		if dst == nil {
+			dst = make(map[string]map[Outcome]int, len(src))
+		}
+		for k, row := range src {
+			d := dst[k]
+			if d == nil {
+				d = make(map[Outcome]int, len(row))
+				dst[k] = d
+			}
+			for oc, n := range row {
+				d[oc] += n
+			}
+		}
+		return dst
+	}
+	r.ByUnit = mergeRows(r.ByUnit, o.ByUnit)
+	if len(o.ByType) > 0 {
+		if r.ByType == nil {
+			r.ByType = make(map[latch.Type]map[Outcome]int, len(o.ByType))
+		}
+		for t, row := range o.ByType {
+			d := r.ByType[t]
+			if d == nil {
+				d = make(map[Outcome]int, len(row))
+				r.ByType[t] = d
+			}
+			for oc, n := range row {
+				d[oc] += n
+			}
+		}
+	}
+	r.Results = append(r.Results, o.Results...)
+	if o.Workers > r.Workers {
+		r.Workers = o.Workers
+	}
+	if o.Metrics != nil {
+		if r.Metrics == nil {
+			r.Metrics = obs.NewSnapshot()
+		}
+		r.Metrics.Merge(o.Metrics)
+	}
+}
 
 // Interval is a binomial confidence interval on an outcome proportion.
 type Interval struct {

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestPlanShardsPartition(t *testing.T) {
+	cases := []struct{ flips, size, want int }{
+		{100, 10, 10}, {100, 33, 4}, {100, 0, 1}, {100, 1000, 1}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		shards := PlanShards(c.flips, c.size)
+		if len(shards) != c.want {
+			t.Errorf("PlanShards(%d,%d): %d shards, want %d", c.flips, c.size, len(shards), c.want)
+		}
+		next := 0
+		for _, s := range shards {
+			if s.Lo != next || s.Hi <= s.Lo {
+				t.Fatalf("PlanShards(%d,%d): bad shard %+v at offset %d", c.flips, c.size, s, next)
+			}
+			next = s.Hi
+		}
+		if next != c.flips {
+			t.Errorf("PlanShards(%d,%d): covers [0,%d), want [0,%d)", c.flips, c.size, next, c.flips)
+		}
+	}
+	if PlanShards(0, 10) != nil {
+		t.Error("PlanShards(0, 10) should be empty")
+	}
+}
+
+// TestSampleCampaignBitsPure: the sample must be a pure function of
+// (seed, flips, filter) — same inputs, same bits, across independently
+// built models. This is what makes shard partitioning reproducible across
+// processes.
+func TestSampleCampaignBitsPure(t *testing.T) {
+	r1, err := NewRunner(fastRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner(fastRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		a := SampleCampaignBits(r1.Core().DB(), seed, 500, nil)
+		b := SampleCampaignBits(r2.Core().DB(), seed, 500, nil)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: samples differ across identical models", seed)
+		}
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkerCounts: worker count is a
+// throughput knob, never an outcome knob — the same config must yield
+// identical reports at any concurrency.
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Flips = 60
+	cfg.Workers = 1
+	one, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	four, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one.Counts, four.Counts) {
+		t.Errorf("outcome totals differ across worker counts:\n1: %v\n4: %v", one.Counts, four.Counts)
+	}
+	if !reflect.DeepEqual(one.ByUnit, four.ByUnit) {
+		t.Errorf("per-unit totals differ across worker counts")
+	}
+	if !reflect.DeepEqual(one.ByType, four.ByType) {
+		t.Errorf("per-type totals differ across worker counts")
+	}
+	if !reflect.DeepEqual(one.Results, four.Results) {
+		t.Errorf("kept results differ across worker counts")
+	}
+}
+
+// TestReportMergeEqualsUnion: merging the reports of k disjoint shards, in
+// shard order, must reproduce the whole-campaign report exactly — counts,
+// per-unit, per-type and kept results.
+func TestReportMergeEqualsUnion(t *testing.T) {
+	cfg := fastCampaignConfig()
+	cfg.Flips = 60
+	cfg.Workers = 2
+
+	proto, err := NewRunner(cfg.Runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := RunCampaignWith(context.Background(), proto, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged := &Report{}
+	for _, sr := range PlanShards(cfg.Flips, 17) {
+		scfg := cfg
+		scfg.Shard = &sr
+		rep, err := RunCampaignWith(context.Background(), proto, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Total != sr.Size() {
+			t.Fatalf("shard %+v: total %d", sr, rep.Total)
+		}
+		merged.Merge(rep)
+	}
+
+	if merged.Total != whole.Total {
+		t.Fatalf("merged total %d, whole %d", merged.Total, whole.Total)
+	}
+	if !reflect.DeepEqual(merged.Counts, whole.Counts) {
+		t.Errorf("merged counts differ:\nmerged: %v\nwhole:  %v", merged.Counts, whole.Counts)
+	}
+	if !reflect.DeepEqual(merged.ByUnit, whole.ByUnit) {
+		t.Errorf("merged per-unit counts differ")
+	}
+	if !reflect.DeepEqual(merged.ByType, whole.ByType) {
+		t.Errorf("merged per-type counts differ")
+	}
+	if !reflect.DeepEqual(merged.Results, whole.Results) {
+		t.Errorf("merged kept results differ from whole-campaign results")
+	}
+}
+
+func TestReportMergeNilAndEmpty(t *testing.T) {
+	r := &Report{}
+	r.Merge(nil)
+	r.Merge(&Report{})
+	if r.Total != 0 {
+		t.Fatalf("empty merges changed the report: %+v", r)
+	}
+}
+
+func TestRunCampaignContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := fastCampaignConfig()
+	cfg.Flips = 40
+	if _, err := RunCampaignContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCampaignWithShardValidation(t *testing.T) {
+	proto, err := NewRunner(fastRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCampaignConfig()
+	cfg.Flips = 10
+	for _, bad := range []ShardRange{{-1, 5}, {5, 11}, {7, 7}, {8, 2}} {
+		scfg := cfg
+		scfg.Shard = &bad
+		if _, err := RunCampaignWith(context.Background(), proto, scfg); err == nil {
+			t.Errorf("shard %+v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,476 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"sfi/internal/core"
+	"sfi/internal/obs"
+)
+
+// CoordConfig parameterizes a campaign coordinator.
+type CoordConfig struct {
+	// Campaign is the campaign to distribute.
+	Campaign CampaignSpec
+
+	// ShardSize is the number of injections per shard (the last shard may
+	// be short). 0 picks a default that yields ~64 shards — small enough
+	// to balance load and bound re-done work on worker death, large
+	// enough to amortize per-shard overhead.
+	ShardSize int
+
+	// LeaseTTL is how long a worker holds a shard without heartbeating
+	// before the shard is considered abandoned (default 10s). Workers
+	// heartbeat at TTL/3.
+	LeaseTTL time.Duration
+
+	// MaxAttempts bounds lease grants per shard: a shard abandoned (or
+	// explicitly failed) this many times fails the whole campaign rather
+	// than retrying forever (default 3).
+	MaxAttempts int
+
+	// Journal is the path of the completed-shard journal. When set, every
+	// completed shard is appended (and fsync'd) as one JSONL record, and a
+	// coordinator restarted over the same journal resumes with those
+	// shards already done. "" disables journaling.
+	Journal string
+}
+
+type shardStatus int
+
+const (
+	shardPending shardStatus = iota
+	shardLeased
+	shardDone
+)
+
+type shard struct {
+	ShardLease
+	status   shardStatus
+	owner    string
+	deadline time.Time
+	attempts int // lease grants so far
+	report   *core.Report
+}
+
+// Coordinator owns a campaign's shard ledger and serves the lease
+// protocol. All state transitions happen under one mutex; the HTTP
+// handlers, the lease reaper and Wait share it.
+type Coordinator struct {
+	cfg CoordConfig
+
+	mu       sync.Mutex
+	shards   []*shard
+	queue    []int // pending shard IDs, FIFO
+	done     int
+	grants   int // total lease grants (observability)
+	err      error
+	finished chan struct{} // closed once done==len(shards) or err is set
+	journal  *journal
+
+	stopReaper chan struct{}
+	reaperDone chan struct{}
+}
+
+// NewCoordinator plans the campaign's shards, replays the journal if one
+// is configured and present, and starts the lease reaper. Callers must
+// Close it.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	if cfg.Campaign.Flips < 1 {
+		return nil, fmt.Errorf("dist: campaign needs at least one flip")
+	}
+	if _, err := cfg.Campaign.Filter.Filter(); err != nil {
+		return nil, err
+	}
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = (cfg.Campaign.Flips + 63) / 64
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		finished:   make(chan struct{}),
+		stopReaper: make(chan struct{}),
+		reaperDone: make(chan struct{}),
+	}
+	for id, r := range core.PlanShards(cfg.Campaign.Flips, cfg.ShardSize) {
+		c.shards = append(c.shards, &shard{
+			ShardLease: ShardLease{ID: id, Lo: r.Lo, Hi: r.Hi},
+		})
+	}
+	if cfg.Journal != "" {
+		j, recovered, err := openJournal(cfg.Journal, journalHeader{
+			V:         1,
+			Seed:      cfg.Campaign.Seed,
+			Flips:     cfg.Campaign.Flips,
+			ShardSize: cfg.ShardSize,
+			Filter:    cfg.Campaign.Filter,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		for id, rep := range recovered {
+			if id < 0 || id >= len(c.shards) {
+				j.close()
+				return nil, fmt.Errorf("dist: journal names shard %d outside the %d-shard plan", id, len(c.shards))
+			}
+			c.markDoneLocked(c.shards[id], rep)
+		}
+	}
+	// Queue whatever the journal didn't already settle.
+	for _, s := range c.shards {
+		if s.status == shardPending {
+			c.queue = append(c.queue, s.ID)
+		}
+	}
+	go c.reaper()
+	return c, nil
+}
+
+// Close stops the reaper and closes the journal. It does not interrupt
+// Wait; cancel Wait's context to abandon a campaign.
+func (c *Coordinator) Close() {
+	close(c.stopReaper)
+	<-c.reaperDone
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal != nil {
+		c.journal.close()
+		c.journal = nil
+	}
+}
+
+// reaper periodically re-queues shards whose lease expired (worker death
+// without a parting /v1/fail). Sweeps also run inline on every lease poll,
+// so the reaper only matters when no worker is polling.
+func (c *Coordinator) reaper() {
+	defer close(c.reaperDone)
+	tick := time.NewTicker(c.cfg.LeaseTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopReaper:
+			return
+		case <-tick.C:
+			c.mu.Lock()
+			c.sweepLocked(time.Now())
+			c.mu.Unlock()
+		}
+	}
+}
+
+// sweepLocked expires overdue leases. A shard that has used all its
+// attempts fails the campaign; otherwise it goes back on the queue for
+// another worker.
+func (c *Coordinator) sweepLocked(now time.Time) {
+	for _, s := range c.shards {
+		if s.status != shardLeased || now.Before(s.deadline) {
+			continue
+		}
+		c.requeueLocked(s, fmt.Sprintf("lease by %q expired", s.owner))
+	}
+}
+
+func (c *Coordinator) requeueLocked(s *shard, why string) {
+	s.status = shardPending
+	s.owner = ""
+	if s.attempts >= c.cfg.MaxAttempts {
+		c.failLocked(fmt.Errorf("dist: shard %d [%d,%d) failed %d of %d attempts (last: %s)",
+			s.ID, s.Lo, s.Hi, s.attempts, c.cfg.MaxAttempts, why))
+		return
+	}
+	c.queue = append(c.queue, s.ID)
+}
+
+func (c *Coordinator) failLocked(err error) {
+	if c.err == nil && c.done < len(c.shards) {
+		c.err = err
+		close(c.finished)
+	}
+}
+
+func (c *Coordinator) markDoneLocked(s *shard, rep *core.Report) {
+	if s.status == shardDone {
+		return
+	}
+	s.status = shardDone
+	s.owner = ""
+	s.report = rep
+	c.done++
+	if c.done == len(c.shards) && c.err == nil {
+		close(c.finished)
+	}
+}
+
+func (c *Coordinator) overLocked() bool {
+	return c.err != nil || c.done == len(c.shards)
+}
+
+// Wait blocks until every shard is complete (returning the merged
+// campaign Report, identical to a single-process run) or the campaign
+// fails (a shard exhausted its attempts) or ctx is cancelled.
+func (c *Coordinator) Wait(ctx context.Context) (*core.Report, error) {
+	select {
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	case <-c.finished:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	// Merge in shard order: shard order is sample order, so the merged
+	// report — kept Results included — matches the single-process run.
+	rep := &core.Report{}
+	for _, s := range c.shards {
+		rep.Merge(s.report)
+	}
+	return rep, nil
+}
+
+// Progress is a point-in-time view of the distributed campaign.
+type Progress struct {
+	Shards     int   `json:"shards"`
+	Done       int   `json:"done"`
+	Leased     int   `json:"leased"`
+	Pending    int   `json:"pending"`
+	Grants     int   `json:"lease_grants"`
+	Injections int   `json:"injections_done"`
+	Total      int   `json:"injections_total"`
+	Failed     bool  `json:"failed"`
+	Error      string `json:"error,omitempty"`
+	// Outcomes is the outcome mix over completed shards.
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+}
+
+// Progress returns the campaign's current state.
+func (c *Coordinator) Progress() Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := Progress{
+		Shards:   len(c.shards),
+		Done:     c.done,
+		Grants:   c.grants,
+		Total:    c.cfg.Campaign.Flips,
+		Failed:   c.err != nil,
+		Outcomes: make(map[string]int),
+	}
+	if c.err != nil {
+		p.Error = c.err.Error()
+	}
+	for _, s := range c.shards {
+		switch s.status {
+		case shardLeased:
+			p.Leased++
+		case shardPending:
+			p.Pending++
+		case shardDone:
+			p.Injections += s.report.Total
+			for o, n := range s.report.Counts {
+				p.Outcomes[o.String()] += n
+			}
+		}
+	}
+	return p
+}
+
+// snapshot merges the metrics snapshots of completed shards (for the
+// /metrics endpoint).
+func (c *Coordinator) snapshot() *obs.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := obs.NewSnapshot()
+	for _, sh := range c.shards {
+		if sh.status == shardDone && sh.report.Metrics != nil {
+			s.Merge(sh.report.Metrics)
+		}
+	}
+	return s
+}
+
+// Handler returns the coordinator's HTTP API:
+//
+//	POST /v1/lease      lease the next pending shard (204 = none pending,
+//	                    410 = campaign over)
+//	POST /v1/heartbeat  extend a held lease (409 = lease lost)
+//	POST /v1/complete   deliver a shard report (idempotent)
+//	POST /v1/fail       give a shard back after a worker-side error
+//	GET  /progress      campaign progress, JSON
+//	GET  /metrics       merged metrics over completed shards, Prometheus text
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/complete", c.handleComplete)
+	mux.HandleFunc("POST /v1/fail", c.handleFail)
+	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.Progress())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		c.snapshot().WritePrometheus(w, "sfi")
+	})
+	return mux
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	now := time.Now()
+	c.sweepLocked(now)
+	if c.overLocked() {
+		c.mu.Unlock()
+		w.WriteHeader(http.StatusGone)
+		return
+	}
+	// Pop the next shard that is still pending (a queued shard can have
+	// been settled out of band, e.g. a stale owner's late completion).
+	var s *shard
+	for s == nil {
+		if len(c.queue) == 0 {
+			c.mu.Unlock()
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		s = c.shards[c.queue[0]]
+		c.queue = c.queue[1:]
+		if s.status != shardPending {
+			s = nil
+		}
+	}
+	s.status = shardLeased
+	s.owner = req.Worker
+	s.attempts++
+	c.grants++
+	s.deadline = now.Add(c.cfg.LeaseTTL)
+	resp := leaseResponse{
+		Shard:    s.ShardLease,
+		Campaign: c.cfg.Campaign,
+		TTLMs:    c.cfg.LeaseTTL.Milliseconds(),
+	}
+	c.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.overLocked() {
+		w.WriteHeader(http.StatusGone)
+		return
+	}
+	s := c.shardByID(req.Shard)
+	if s == nil || s.status != shardLeased || s.owner != req.Worker {
+		// The lease expired and may already be re-granted: the worker must
+		// abandon the shard (its eventual /v1/complete would still be
+		// accepted — results are deterministic — but stopping saves work).
+		w.WriteHeader(http.StatusConflict)
+		return
+	}
+	s.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	writeJSON(w, heartbeatResponse{TTLMs: c.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Report == nil {
+		http.Error(w, "dist: complete without report", http.StatusBadRequest)
+		return
+	}
+	rep, err := req.Report.Report()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.shardByID(req.Shard)
+	if s == nil {
+		http.Error(w, fmt.Sprintf("dist: unknown shard %d", req.Shard), http.StatusBadRequest)
+		return
+	}
+	// Idempotent: re-delivery of a completed shard (worker retrying a
+	// complete whose response it lost, or a stale owner finishing after
+	// its lease was re-granted) is acknowledged and discarded.
+	if s.status == shardDone {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	if c.err != nil {
+		w.WriteHeader(http.StatusGone)
+		return
+	}
+	if rep.Total != s.Hi-s.Lo {
+		http.Error(w, fmt.Sprintf("dist: shard %d report covers %d injections, want %d",
+			s.ID, rep.Total, s.Hi-s.Lo), http.StatusBadRequest)
+		return
+	}
+	if c.journal != nil {
+		if err := c.journal.append(s.ID, req.Report); err != nil {
+			// Journal loss is a coordinator-side failure; the worker's
+			// result is fine, so fail the campaign rather than the request.
+			c.failLocked(fmt.Errorf("dist: journal append: %w", err))
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	c.markDoneLocked(s, rep)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req failRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.overLocked() {
+		w.WriteHeader(http.StatusGone)
+		return
+	}
+	s := c.shardByID(req.Shard)
+	if s == nil || s.status != shardLeased || s.owner != req.Worker {
+		w.WriteHeader(http.StatusConflict)
+		return
+	}
+	c.requeueLocked(s, fmt.Sprintf("worker %q reported: %s", req.Worker, req.Error))
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) shardByID(id int) *shard {
+	if id < 0 || id >= len(c.shards) {
+		return nil
+	}
+	return c.shards[id]
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

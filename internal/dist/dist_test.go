@@ -1,0 +1,343 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"sfi/internal/core"
+)
+
+// testSpec is a real (model-executing) campaign small enough for tests.
+func testSpec() CampaignSpec {
+	rc := core.DefaultRunnerConfig()
+	rc.AVP.Testcases = 6
+	rc.AVP.BodyOps = 14
+	return CampaignSpec{
+		Runner:       rc,
+		Seed:         7,
+		Flips:        48,
+		KeepResults:  true,
+		ShardWorkers: 2,
+	}
+}
+
+func startCoord(t *testing.T, cfg CoordConfig) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(func() { srv.Close(); c.Close() })
+	return c, srv
+}
+
+// rawPost speaks the wire protocol directly — used to play misbehaving or
+// dying workers that the real RunWorker loop would never be.
+func rawPost(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// fakeWire fabricates a valid wire report for a size-injection shard
+// (protocol tests don't need to run the model).
+func fakeWire(size int) *WireReport {
+	return &WireReport{
+		Total:  size,
+		Counts: map[string]int{"vanished": size - 1, "corrected": 1},
+		ByUnit: map[string]map[string]int{"FXU": {"vanished": size - 1, "corrected": 1}},
+		ByType: map[string]map[string]int{"FUNC": {"vanished": size - 1, "corrected": 1}},
+	}
+}
+
+// TestLoopbackEquivalence is the subsystem's consistency acceptance test:
+// a 4-worker distributed campaign must produce outcome totals — per-unit
+// and per-type included — identical to the same-seed single-process run,
+// and the kept per-injection results must match bit for bit.
+func TestLoopbackEquivalence(t *testing.T) {
+	spec := testSpec()
+	c, srv := startCoord(t, CoordConfig{Campaign: spec, ShardSize: 12})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	workerErr := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			workerErr <- RunWorker(ctx, WorkerConfig{
+				Coordinator: srv.URL,
+				ID:          fmt.Sprintf("w%d", i),
+				PollEvery:   20 * time.Millisecond,
+			})
+		}(i)
+	}
+	got, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-workerErr; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+
+	ccfg, err := spec.CampaignConfig(core.ShardRange{Lo: 0, Hi: spec.Flips})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg.Workers = 2
+	want, err := core.RunCampaign(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Total != want.Total {
+		t.Fatalf("total: distributed %d, single-process %d", got.Total, want.Total)
+	}
+	if !reflect.DeepEqual(got.Counts, want.Counts) {
+		t.Errorf("outcome counts differ:\ndist:   %v\nsingle: %v", got.Counts, want.Counts)
+	}
+	if !reflect.DeepEqual(got.ByUnit, want.ByUnit) {
+		t.Errorf("per-unit counts differ:\ndist:   %v\nsingle: %v", got.ByUnit, want.ByUnit)
+	}
+	if !reflect.DeepEqual(got.ByType, want.ByType) {
+		t.Errorf("per-type counts differ:\ndist:   %v\nsingle: %v", got.ByType, want.ByType)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("kept results: distributed %d, single-process %d", len(got.Results), len(want.Results))
+	}
+	for i := range got.Results {
+		g, w := got.Results[i], want.Results[i]
+		if g.Bit != w.Bit || g.Outcome != w.Outcome {
+			t.Fatalf("result %d differs: dist bit %d %v, single bit %d %v",
+				i, g.Bit, g.Outcome, w.Bit, w.Outcome)
+		}
+	}
+}
+
+// TestDeadWorkerShardRequeued kills a worker mid-shard (it leases and then
+// vanishes without heartbeats); the lease must expire, the shard must be
+// re-queued and completed by a surviving worker, and the campaign must
+// still finish completely.
+func TestDeadWorkerShardRequeued(t *testing.T) {
+	spec := testSpec()
+	spec.Flips = 24
+	c, srv := startCoord(t, CoordConfig{
+		Campaign:  spec,
+		ShardSize: 12,
+		LeaseTTL:  300 * time.Millisecond,
+	})
+
+	// The zombie takes shard 0 and dies.
+	var zl leaseResponse
+	if s := rawPost(t, srv.URL+"/v1/lease", leaseRequest{Worker: "zombie"}, &zl); s != http.StatusOK {
+		t.Fatalf("zombie lease: status %d", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(ctx, WorkerConfig{
+			Coordinator: srv.URL, ID: "survivor", PollEvery: 20 * time.Millisecond,
+		})
+	}()
+	rep, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if rep.Total != spec.Flips {
+		t.Fatalf("campaign total %d, want %d", rep.Total, spec.Flips)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s0 := c.shards[zl.Shard.ID]
+	if s0.attempts < 2 {
+		t.Errorf("abandoned shard re-leased %d times, want >= 2", s0.attempts)
+	}
+	if s0.status != shardDone {
+		t.Errorf("abandoned shard not completed")
+	}
+}
+
+// TestCompleteIdempotent delivers the same shard report twice (a worker
+// retrying a complete whose ack it lost); the shard must count once.
+func TestCompleteIdempotent(t *testing.T) {
+	spec := testSpec()
+	spec.Flips = 20
+	c, srv := startCoord(t, CoordConfig{Campaign: spec, ShardSize: 10})
+
+	var l leaseResponse
+	if s := rawPost(t, srv.URL+"/v1/lease", leaseRequest{Worker: "w"}, &l); s != http.StatusOK {
+		t.Fatalf("lease: status %d", s)
+	}
+	req := completeRequest{Worker: "w", Shard: l.Shard.ID, Report: fakeWire(10)}
+	for i := 0; i < 2; i++ {
+		if s := rawPost(t, srv.URL+"/v1/complete", req, nil); s != http.StatusOK {
+			t.Fatalf("complete #%d: status %d", i+1, s)
+		}
+	}
+	p := c.Progress()
+	if p.Done != 1 || p.Injections != 10 {
+		t.Fatalf("after double complete: done %d, injections %d; want 1, 10", p.Done, p.Injections)
+	}
+
+	// Finish the other shard and confirm the merge counted shard 0 once.
+	var l2 leaseResponse
+	if s := rawPost(t, srv.URL+"/v1/lease", leaseRequest{Worker: "w"}, &l2); s != http.StatusOK {
+		t.Fatalf("lease 2: status %d", s)
+	}
+	rawPost(t, srv.URL+"/v1/complete", completeRequest{Worker: "w", Shard: l2.Shard.ID, Report: fakeWire(10)}, nil)
+	rep, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 20 || rep.Counts[core.Corrected] != 2 {
+		t.Fatalf("merged: total %d corrected %d; want 20, 2", rep.Total, rep.Counts[core.Corrected])
+	}
+}
+
+// TestJournalRestart kills a coordinator after two of three shards are
+// durably complete; its successor over the same journal must resume with
+// those shards done and finish from there.
+func TestJournalRestart(t *testing.T) {
+	spec := testSpec()
+	spec.Flips = 30
+	journal := filepath.Join(t.TempDir(), "campaign.journal")
+	cfg := CoordConfig{Campaign: spec, ShardSize: 10, Journal: journal}
+
+	c1, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(c1.Handler())
+	for i := 0; i < 2; i++ {
+		var l leaseResponse
+		if s := rawPost(t, srv1.URL+"/v1/lease", leaseRequest{Worker: "w"}, &l); s != http.StatusOK {
+			t.Fatalf("lease %d: status %d", i, s)
+		}
+		if s := rawPost(t, srv1.URL+"/v1/complete",
+			completeRequest{Worker: "w", Shard: l.Shard.ID, Report: fakeWire(10)}, nil); s != http.StatusOK {
+			t.Fatalf("complete %d: status %d", i, s)
+		}
+	}
+	srv1.Close()
+	c1.Close() // the "kill": no graceful campaign finish
+
+	c2, srv2 := startCoord(t, cfg)
+	p := c2.Progress()
+	if p.Done != 2 || p.Injections != 20 {
+		t.Fatalf("restarted coordinator: done %d injections %d; want 2, 20", p.Done, p.Injections)
+	}
+	var l leaseResponse
+	if s := rawPost(t, srv2.URL+"/v1/lease", leaseRequest{Worker: "w"}, &l); s != http.StatusOK {
+		t.Fatalf("post-restart lease: status %d", s)
+	}
+	if got, want := l.Shard.ID, 2; got != want {
+		t.Fatalf("post-restart lease handed shard %d, want the unfinished shard %d", got, want)
+	}
+	rawPost(t, srv2.URL+"/v1/complete", completeRequest{Worker: "w", Shard: l.Shard.ID, Report: fakeWire(10)}, nil)
+	rep, err := c2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 30 {
+		t.Fatalf("resumed campaign total %d, want 30", rep.Total)
+	}
+}
+
+// TestJournalRejectsForeignCampaign: resuming a different campaign over an
+// existing journal must fail loudly instead of merging unrelated shards.
+func TestJournalRejectsForeignCampaign(t *testing.T) {
+	spec := testSpec()
+	spec.Flips = 30
+	journal := filepath.Join(t.TempDir(), "campaign.journal")
+	c1, err := NewCoordinator(CoordConfig{Campaign: spec, ShardSize: 10, Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	spec.Seed = 99
+	if _, err := NewCoordinator(CoordConfig{Campaign: spec, ShardSize: 10, Journal: journal}); err == nil {
+		t.Fatal("coordinator accepted a journal from a different campaign")
+	}
+}
+
+// TestShardAttemptsExhausted: a shard abandoned MaxAttempts times fails
+// the whole campaign (bounded retries, then campaign-level error).
+func TestShardAttemptsExhausted(t *testing.T) {
+	spec := testSpec()
+	spec.Flips = 10
+	c, srv := startCoord(t, CoordConfig{
+		Campaign:    spec,
+		ShardSize:   10,
+		LeaseTTL:    100 * time.Millisecond,
+		MaxAttempts: 1,
+	})
+	if s := rawPost(t, srv.URL+"/v1/lease", leaseRequest{Worker: "zombie"}, &leaseResponse{}); s != http.StatusOK {
+		t.Fatalf("lease: status %d", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Wait(ctx); err == nil {
+		t.Fatal("campaign succeeded despite an exhausted shard")
+	} else if ctx.Err() != nil {
+		t.Fatalf("campaign did not fail before timeout: %v", err)
+	}
+}
+
+// TestWireReportRoundTrip: encode/decode must be lossless for everything
+// the merge consumes.
+func TestWireReportRoundTrip(t *testing.T) {
+	rep, err := (&WireReport{
+		Total:  5,
+		Counts: map[string]int{"vanished": 3, "sdc": 2},
+		ByUnit: map[string]map[string]int{"LSU": {"vanished": 3}, "IFU": {"sdc": 2}},
+		ByType: map[string]map[string]int{"REGFILE": {"vanished": 3}, "FUNC": {"sdc": 2}},
+	}).Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(EncodeReport(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := back.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatalf("round trip changed the report:\n%+v\n%+v", rep, rep2)
+	}
+	if _, err := (&WireReport{Counts: map[string]int{"nope": 1}}).Report(); err == nil {
+		t.Fatal("decoded a report with an unknown outcome")
+	}
+}

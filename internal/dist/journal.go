@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sfi/internal/core"
+)
+
+// The campaign journal is a JSONL file: a header line binding it to one
+// campaign plan, then one line per completed shard. Lines are appended and
+// fsync'd when a shard completes, so a coordinator killed at any point can
+// be restarted over the same journal and resume with every durably
+// completed shard already marked done. A torn final line (crash
+// mid-append) is ignored on replay — that shard simply reruns.
+
+type journalHeader struct {
+	V         int        `json:"v"`
+	Seed      uint64     `json:"seed"`
+	Flips     int        `json:"flips"`
+	ShardSize int        `json:"shard_size"`
+	Filter    FilterSpec `json:"filter"`
+}
+
+type journalEntry struct {
+	Shard  int         `json:"shard"`
+	Report *WireReport `json:"report"`
+}
+
+type journal struct {
+	f *os.File
+}
+
+// openJournal opens (or creates) the journal at path for the campaign
+// described by hdr, returning the recovered shard reports. An existing
+// journal whose header does not match hdr is rejected: resuming a
+// different campaign over it would merge unrelated shards.
+func openJournal(path string, hdr journalHeader) (*journal, map[int]*core.Report, error) {
+	recovered := make(map[int]*core.Report)
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err) || (err == nil && len(data) == 0):
+		// Fresh journal.
+	case err != nil:
+		return nil, nil, fmt.Errorf("dist: read journal: %w", err)
+	default:
+		lines := bytes.Split(data, []byte("\n"))
+		var got journalHeader
+		if err := json.Unmarshal(lines[0], &got); err != nil {
+			return nil, nil, fmt.Errorf("dist: journal %s: bad header: %w", path, err)
+		}
+		if got != hdr {
+			return nil, nil, fmt.Errorf("dist: journal %s belongs to a different campaign plan (%+v, want %+v)",
+				path, got, hdr)
+		}
+		for _, line := range lines[1:] {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var e journalEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				break // torn tail from a crash mid-append: rerun that shard
+			}
+			if e.Report == nil {
+				continue
+			}
+			rep, err := e.Report.Report()
+			if err != nil {
+				return nil, nil, fmt.Errorf("dist: journal %s: shard %d: %w", path, e.Shard, err)
+			}
+			recovered[e.Shard] = rep
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: open journal: %w", err)
+	}
+	j := &journal{f: f}
+	if len(data) == 0 {
+		if err := j.writeLine(hdr); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return j, recovered, nil
+}
+
+func (j *journal) append(shardID int, rep *WireReport) error {
+	return j.writeLine(journalEntry{Shard: shardID, Report: rep})
+}
+
+func (j *journal) writeLine(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() {
+	j.f.Close()
+}

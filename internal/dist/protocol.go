@@ -1,0 +1,240 @@
+// Package dist is the distributed campaign execution subsystem: a
+// coordinator shards a campaign into deterministic injection-index ranges
+// and leases them over HTTP+JSON to worker processes, which execute each
+// shard with the ordinary warm-clone campaign machinery and post back the
+// shard Report. TTL leases with heartbeats detect worker death; expired
+// shards are re-queued with bounded retries; completed shards are logged
+// to an on-disk journal so a restarted coordinator resumes instead of
+// redoing finished work. Because a campaign's sample is a pure function of
+// (seed, flips, filter) — see core.SampleCampaignBits — every shard is
+// deterministic and idempotent, and merging the shard Reports in shard
+// order reproduces the single-process Report exactly.
+package dist
+
+import (
+	"fmt"
+
+	"sfi/internal/core"
+	"sfi/internal/latch"
+	"sfi/internal/obs"
+)
+
+// FilterSpec is the wire form of a latch.Filter: campaign filters are
+// closures and cannot cross a process boundary, so the coordinator ships
+// this declarative form and each worker rebuilds the closure locally.
+type FilterSpec struct {
+	// Kind selects the filter family: "" (whole design), "unit", "type"
+	// (latch type) or "prefix" (group-name prefix, macro targeting).
+	Kind string `json:"kind,omitempty"`
+	Arg  string `json:"arg,omitempty"`
+}
+
+// Filter materializes the spec into a latch.Filter (nil for the
+// whole-design spec).
+func (f FilterSpec) Filter() (latch.Filter, error) {
+	switch f.Kind {
+	case "":
+		return nil, nil
+	case "unit":
+		return latch.ByUnit(f.Arg), nil
+	case "type":
+		for _, t := range latch.Types {
+			if t.String() == f.Arg {
+				return latch.ByType(t), nil
+			}
+		}
+		return nil, fmt.Errorf("dist: unknown latch type %q", f.Arg)
+	case "prefix":
+		return core.ByGroupPrefix(f.Arg), nil
+	default:
+		return nil, fmt.Errorf("dist: unknown filter kind %q", f.Kind)
+	}
+}
+
+// CampaignSpec is the serializable description of a campaign — everything
+// a worker needs to reproduce its slice of the deterministic sample. It is
+// the wire twin of core.CampaignConfig minus the process-local parts
+// (filter closure, observability callbacks, shard range).
+type CampaignSpec struct {
+	Runner      core.RunnerConfig `json:"runner"`
+	Seed        uint64            `json:"seed"`
+	Flips       int               `json:"flips"`
+	Filter      FilterSpec        `json:"filter"`
+	KeepResults bool              `json:"keep_results,omitempty"`
+
+	// ShardWorkers is the number of concurrent model copies a worker
+	// process fans each shard out over (0 = GOMAXPROCS). A worker's own
+	// configuration may override it.
+	ShardWorkers int `json:"shard_workers,omitempty"`
+}
+
+// CampaignConfig materializes the spec into a runnable configuration for
+// one shard.
+func (s CampaignSpec) CampaignConfig(shard core.ShardRange) (core.CampaignConfig, error) {
+	f, err := s.Filter.Filter()
+	if err != nil {
+		return core.CampaignConfig{}, err
+	}
+	return core.CampaignConfig{
+		Runner:      s.Runner,
+		Seed:        s.Seed,
+		Flips:       s.Flips,
+		Filter:      f,
+		KeepResults: s.KeepResults,
+		Workers:     s.ShardWorkers,
+		Shard:       &shard,
+	}, nil
+}
+
+// WireReport is the lossless wire encoding of a core.Report. (The Report
+// type's own MarshalJSON is a human-facing export that drops vanished
+// results and cannot be unmarshalled; shard transport and the journal need
+// exact round-trips.)
+type WireReport struct {
+	Total   int                       `json:"total"`
+	Workers int                       `json:"workers,omitempty"`
+	Counts  map[string]int            `json:"counts"`
+	ByUnit  map[string]map[string]int `json:"by_unit,omitempty"`
+	ByType  map[string]map[string]int `json:"by_type,omitempty"`
+	Results []core.Result             `json:"results,omitempty"`
+	Metrics *obs.Snapshot             `json:"metrics,omitempty"`
+}
+
+// EncodeReport converts a Report to its wire form.
+func EncodeReport(r *core.Report) *WireReport {
+	w := &WireReport{
+		Total:   r.Total,
+		Workers: r.Workers,
+		Counts:  make(map[string]int, len(r.Counts)),
+		Results: r.Results,
+		Metrics: r.Metrics,
+	}
+	for o, n := range r.Counts {
+		w.Counts[o.String()] = n
+	}
+	if len(r.ByUnit) > 0 {
+		w.ByUnit = make(map[string]map[string]int, len(r.ByUnit))
+		for unit, row := range r.ByUnit {
+			w.ByUnit[unit] = encodeOutcomeRow(row)
+		}
+	}
+	if len(r.ByType) > 0 {
+		w.ByType = make(map[string]map[string]int, len(r.ByType))
+		for t, row := range r.ByType {
+			w.ByType[t.String()] = encodeOutcomeRow(row)
+		}
+	}
+	return w
+}
+
+func encodeOutcomeRow(row map[core.Outcome]int) map[string]int {
+	out := make(map[string]int, len(row))
+	for o, n := range row {
+		out[o.String()] = n
+	}
+	return out
+}
+
+// Report converts the wire form back to a core.Report.
+func (w *WireReport) Report() (*core.Report, error) {
+	r := &core.Report{
+		Total:   w.Total,
+		Workers: w.Workers,
+		Counts:  make(map[core.Outcome]int, len(w.Counts)),
+		ByUnit:  make(map[string]map[core.Outcome]int, len(w.ByUnit)),
+		ByType:  make(map[latch.Type]map[core.Outcome]int, len(w.ByType)),
+		Results: w.Results,
+		Metrics: w.Metrics,
+	}
+	for name, n := range w.Counts {
+		o, err := outcomeByName(name)
+		if err != nil {
+			return nil, err
+		}
+		r.Counts[o] = n
+	}
+	for unit, row := range w.ByUnit {
+		dec, err := decodeOutcomeRow(row)
+		if err != nil {
+			return nil, err
+		}
+		r.ByUnit[unit] = dec
+	}
+	for name, row := range w.ByType {
+		var typ latch.Type
+		for _, t := range latch.Types {
+			if t.String() == name {
+				typ = t
+			}
+		}
+		if typ == 0 {
+			return nil, fmt.Errorf("dist: unknown latch type %q in report", name)
+		}
+		dec, err := decodeOutcomeRow(row)
+		if err != nil {
+			return nil, err
+		}
+		r.ByType[typ] = dec
+	}
+	return r, nil
+}
+
+func decodeOutcomeRow(row map[string]int) (map[core.Outcome]int, error) {
+	out := make(map[core.Outcome]int, len(row))
+	for name, n := range row {
+		o, err := outcomeByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out[o] = n
+	}
+	return out, nil
+}
+
+func outcomeByName(name string) (core.Outcome, error) {
+	for _, o := range core.Outcomes {
+		if o.String() == name {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("dist: unknown outcome %q in report", name)
+}
+
+// ShardLease identifies one leased shard: injection indices [Lo, Hi) of
+// the campaign sample.
+type ShardLease struct {
+	ID int `json:"id"`
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Wire messages. Every coordinator response also uses HTTP status codes:
+// 200 OK, 204 no work available right now, 410 campaign over (done or
+// failed), 409 lease not held.
+type (
+	leaseRequest  struct {
+		Worker string `json:"worker"`
+	}
+	leaseResponse struct {
+		Shard    ShardLease   `json:"shard"`
+		Campaign CampaignSpec `json:"campaign"`
+		TTLMs    int64        `json:"ttl_ms"`
+	}
+	heartbeatRequest struct {
+		Worker string `json:"worker"`
+		Shard  int    `json:"shard"`
+	}
+	heartbeatResponse struct {
+		TTLMs int64 `json:"ttl_ms"`
+	}
+	completeRequest struct {
+		Worker string      `json:"worker"`
+		Shard  int         `json:"shard"`
+		Report *WireReport `json:"report"`
+	}
+	failRequest struct {
+		Worker string `json:"worker"`
+		Shard  int    `json:"shard"`
+		Error  string `json:"error"`
+	}
+)

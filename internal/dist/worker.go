@@ -1,0 +1,261 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"reflect"
+	"time"
+
+	"sfi/internal/core"
+)
+
+// WorkerConfig parameterizes one campaign worker process.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8430".
+	Coordinator string
+
+	// ID identifies this worker in leases and logs ("" derives one from
+	// hostname and pid).
+	ID string
+
+	// Workers overrides the campaign's ShardWorkers: concurrent model
+	// copies this process fans each shard out over (0 = use the spec).
+	Workers int
+
+	// PollEvery is the lease re-poll period while no shard is available
+	// (default 250ms).
+	PollEvery time.Duration
+
+	// Client is the HTTP client ( nil = a default with a 30s timeout).
+	Client *http.Client
+
+	// Logf receives worker lifecycle logs (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Worker leases shards from a coordinator and executes them. The
+// expensive part of shard start-up — generating the AVP, warming the
+// model to steady state and capturing the phased checkpoints — is paid
+// once: the first shard builds a prototype Runner and every later shard
+// (and every concurrent model copy, via the usual warm-clone pool) reuses
+// it.
+type worker struct {
+	cfg   WorkerConfig
+	proto *core.Runner
+	// protoCfg is the runner spec the prototype was built from; a spec
+	// change (new campaign on a reused worker) forces a rebuild.
+	protoCfg core.RunnerConfig
+}
+
+// RunWorker runs the worker loop until the coordinator reports the
+// campaign over (nil), ctx is cancelled (ctx error), or a shard fails
+// locally in a way that retrying cannot fix.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.ID == "" {
+		host, _ := os.Hostname()
+		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 250 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	w := &worker{cfg: cfg}
+	for {
+		lease, status, err := w.lease(ctx)
+		switch {
+		case err != nil:
+			// Coordinator unreachable (it may be restarting): back off and
+			// re-poll; ctx bounds the wait.
+			w.cfg.Logf("worker %s: lease: %v", cfg.ID, err)
+			if !sleep(ctx, cfg.PollEvery) {
+				return context.Cause(ctx)
+			}
+		case status == http.StatusGone:
+			w.cfg.Logf("worker %s: campaign over", cfg.ID)
+			return nil
+		case status == http.StatusNoContent:
+			if !sleep(ctx, cfg.PollEvery) {
+				return context.Cause(ctx)
+			}
+		case status == http.StatusOK:
+			if err := w.runShard(ctx, lease); err != nil {
+				if ctx.Err() != nil {
+					return context.Cause(ctx)
+				}
+				return err
+			}
+		default:
+			return fmt.Errorf("dist: worker %s: unexpected lease status %d", cfg.ID, status)
+		}
+	}
+}
+
+// runShard executes one leased shard: heartbeats in the background, runs
+// the shard campaign against the (reused) prototype, and reports the
+// result. Losing the lease cancels the shard promptly and returns nil —
+// the shard is someone else's now. A shard execution error is handed back
+// with /v1/fail so the coordinator can re-queue without waiting for the
+// lease to expire.
+func (w *worker) runShard(ctx context.Context, lease *leaseResponse) error {
+	id, sh := w.cfg.ID, lease.Shard
+	w.cfg.Logf("worker %s: shard %d [%d,%d)", id, sh.ID, sh.Lo, sh.Hi)
+
+	ccfg, err := lease.Campaign.CampaignConfig(core.ShardRange{Lo: sh.Lo, Hi: sh.Hi})
+	if err != nil {
+		w.fail(sh.ID, err)
+		return err
+	}
+	if w.cfg.Workers > 0 {
+		ccfg.Workers = w.cfg.Workers
+	}
+	// Shard reports always carry metrics: the coordinator's /metrics view
+	// is the merge of them, and the measured overhead is <5%.
+	ccfg.Obs.Metrics = true
+
+	// Heartbeat from lease grant until the shard finishes, covering the
+	// (expensive, once-per-process) prototype build below as well as the
+	// run itself; a refused heartbeat (lease lost, campaign over) cancels
+	// the in-flight shard.
+	shardCtx, cancel := context.WithCancelCause(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		ttl := time.Duration(lease.TTLMs) * time.Millisecond
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-t.C:
+				status, err := w.post("/v1/heartbeat", heartbeatRequest{Worker: id, Shard: sh.ID}, nil)
+				if err != nil {
+					continue // transient; the lease survives until TTL
+				}
+				if status != http.StatusOK {
+					cancel(errLeaseLost)
+					return
+				}
+			}
+		}
+	}()
+
+	if w.proto == nil || !reflect.DeepEqual(w.protoCfg, ccfg.Runner) {
+		proto, err := core.NewRunner(ccfg.Runner)
+		if err != nil {
+			cancel(nil)
+			<-hbDone
+			w.fail(sh.ID, err)
+			return fmt.Errorf("dist: worker %s: build runner: %w", id, err)
+		}
+		w.proto, w.protoCfg = proto, ccfg.Runner
+	}
+
+	rep, runErr := core.RunCampaignWith(shardCtx, w.proto, ccfg)
+	cancel(nil)
+	<-hbDone
+
+	switch {
+	case runErr == nil:
+		return w.complete(sh.ID, rep)
+	case errors.Is(context.Cause(shardCtx), errLeaseLost):
+		w.cfg.Logf("worker %s: shard %d lease lost, abandoning", id, sh.ID)
+		return nil
+	case ctx.Err() != nil:
+		return context.Cause(ctx)
+	default:
+		w.fail(sh.ID, runErr)
+		return fmt.Errorf("dist: worker %s: shard %d: %w", id, sh.ID, runErr)
+	}
+}
+
+var errLeaseLost = errors.New("dist: shard lease lost")
+
+// complete delivers a shard report, retrying transient transport errors —
+// completion is idempotent on the coordinator, so re-sending after a lost
+// response is safe.
+func (w *worker) complete(shardID int, rep *core.Report) error {
+	req := completeRequest{Worker: w.cfg.ID, Shard: shardID, Report: EncodeReport(rep)}
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		status, err := w.post("/v1/complete", req, nil)
+		if err != nil {
+			lastErr = err
+			time.Sleep(w.cfg.PollEvery)
+			continue
+		}
+		switch status {
+		case http.StatusOK, http.StatusGone:
+			return nil
+		default:
+			return fmt.Errorf("dist: worker %s: complete shard %d: status %d", w.cfg.ID, shardID, status)
+		}
+	}
+	return fmt.Errorf("dist: worker %s: complete shard %d: %w", w.cfg.ID, shardID, lastErr)
+}
+
+// fail gives a shard back early (best-effort; lease expiry covers us if
+// it doesn't get through).
+func (w *worker) fail(shardID int, cause error) {
+	w.post("/v1/fail", failRequest{Worker: w.cfg.ID, Shard: shardID, Error: cause.Error()}, nil)
+}
+
+func (w *worker) lease(ctx context.Context) (*leaseResponse, int, error) {
+	var resp leaseResponse
+	status, err := w.postCtx(ctx, "/v1/lease", leaseRequest{Worker: w.cfg.ID}, &resp)
+	if err != nil || status != http.StatusOK {
+		return nil, status, err
+	}
+	return &resp, status, nil
+}
+
+func (w *worker) post(path string, body, out any) (int, error) {
+	return w.postCtx(context.Background(), path, body, out)
+}
+
+func (w *worker) postCtx(ctx context.Context, path string, body, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.cfg.Coordinator+path, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// sleep waits d or until ctx is done, reporting whether the full wait
+// elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -20,6 +20,7 @@
 package sfi
 
 import (
+	"context"
 	"io"
 
 	"sfi/internal/beam"
@@ -39,8 +40,15 @@ type (
 	RunnerConfig = core.RunnerConfig
 	// Runner owns one warmed, checkpointed model for repeated injections.
 	Runner = core.Runner
-	// Report aggregates campaign outcomes.
+	// Report aggregates campaign outcomes. Report.Merge folds the reports
+	// of disjoint campaign shards back into the whole-campaign report —
+	// the aggregation primitive behind distributed execution (sfi-coord /
+	// sfi-worker).
 	Report = core.Report
+	// ShardRange is a half-open range [Lo, Hi) of injection indices into
+	// a campaign's deterministic sample; set CampaignConfig.Shard to run
+	// just that slice of the campaign.
+	ShardRange = core.ShardRange
 	// Result is one injection's classified destiny with its trace.
 	Result = core.Result
 	// Outcome is the destiny category of an injected bit flip.
@@ -125,6 +133,20 @@ func DefaultRunnerConfig() RunnerConfig { return core.DefaultRunnerConfig() }
 
 // RunCampaign executes a fault-injection campaign.
 func RunCampaign(cfg CampaignConfig) (*Report, error) { return core.RunCampaign(cfg) }
+
+// RunCampaignContext is RunCampaign with cancellation: when ctx is
+// cancelled, dispatch stops, in-flight injections finish, and the
+// campaign returns ctx's error.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*Report, error) {
+	return core.RunCampaignContext(ctx, cfg)
+}
+
+// PlanShards splits a flips-injection campaign into contiguous shards of
+// at most shardSize injections. Executing each shard (CampaignConfig.Shard)
+// with the same seed — in any process, in any order — and merging the
+// Reports in plan order reproduces the single-process campaign Report
+// exactly. shardSize <= 0 yields one whole-campaign shard.
+func PlanShards(flips, shardSize int) []ShardRange { return core.PlanShards(flips, shardSize) }
 
 // NewRunner builds, warms and checkpoints a single injection runner.
 func NewRunner(cfg RunnerConfig) (*Runner, error) { return core.NewRunner(cfg) }

@@ -1,6 +1,9 @@
 package sfi
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // Facade and experiment-driver tests at reduced scale; the full-size runs
 // live in cmd/sfi-tables and EXPERIMENTS.md.
@@ -25,6 +28,36 @@ func TestFacadeCampaign(t *testing.T) {
 	}
 	if rep.Fraction(Vanished) < 0.7 {
 		t.Errorf("vanished %.2f implausibly low", rep.Fraction(Vanished))
+	}
+}
+
+// TestFacadeShardedCampaign drives the public shard-planning API the way a
+// distributed deployment does: plan shards, run each independently, merge.
+func TestFacadeShardedCampaign(t *testing.T) {
+	cfg := DefaultCampaignConfig()
+	cfg.Runner = testRunner()
+	cfg.Flips = 60
+	whole, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := &Report{}
+	for _, sr := range PlanShards(cfg.Flips, 25) {
+		scfg := cfg
+		scfg.Shard = &sr
+		rep, err := RunCampaignContext(context.Background(), scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged.Merge(rep)
+	}
+	if merged.Total != whole.Total {
+		t.Fatalf("merged total %d, whole %d", merged.Total, whole.Total)
+	}
+	for _, o := range Outcomes {
+		if merged.Counts[o] != whole.Counts[o] {
+			t.Errorf("%v: merged %d, whole %d", o, merged.Counts[o], whole.Counts[o])
+		}
 	}
 }
 
