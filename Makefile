@@ -18,21 +18,25 @@ vet:
 
 # The -race pass targets the packages that exercise concurrent model copies
 # and cross-process coordination: internal/core (campaign fan-out over
-# cloned runners), internal/emu, and internal/dist (the loopback
-# coordinator+worker integration tests, HTTP leases and all).
+# cloned runners), internal/emu, internal/dist (the loopback
+# coordinator+worker integration tests, HTTP leases, fleet aggregation),
+# and internal/obs (concurrent metrics collectors, fleet snapshot merging,
+# trace sinks).
 race:
-	$(GO) test -race ./internal/core ./internal/emu ./internal/dist
+	$(GO) test -race ./internal/core ./internal/emu ./internal/dist ./internal/obs
 
 # bench runs every benchmark once for a quick smoke, then has sfi-bench
 # re-measure the headline numbers and emit the machine-readable record.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
-	$(GO) run ./cmd/sfi-bench -out BENCH_pr2.json
+	$(GO) run ./cmd/sfi-bench -out BENCH_pr4.json
 
 # overhead is the observability cost gate: BenchmarkInjection with the
-# no-op default must stay within 5% of the recorded baseline, and the
-# metrics+trace-on path within 5% of the no-op path. A missing baseline
-# file is recorded rather than failed (fresh machine).
+# no-op default must stay within 5% of the recorded baseline, the
+# metrics+trace-on path within 5% of the no-op path, and the distributed
+# loopback campaign with fleet observability (heartbeat metric deltas,
+# trace attachment) within 5% of the observability-off loopback run. A
+# missing baseline file is recorded rather than failed (fresh machine).
 overhead:
 	$(GO) run ./cmd/sfi-bench -guard -baseline BENCH_baseline.json
 

@@ -9,7 +9,10 @@
 // measures the injection hot path with observability off (the no-op
 // default) and fully on (metrics + trace sink) in interleaved rounds,
 // fails if the no-op path regressed more than 5% against the recorded
-// baseline, and fails if the metrics-on overhead exceeds 5%:
+// baseline, and fails if the metrics-on overhead exceeds 5%. It also runs
+// a distributed-loopback paired measurement — the same campaign through a
+// loopback coordinator with fleet observability off and on — and fails if
+// the heartbeat-piggyback/trace-attach path costs more than 5% wall time:
 //
 //	sfi-bench -guard -baseline BENCH_baseline.json
 //
@@ -18,10 +21,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"regexp"
@@ -31,6 +37,7 @@ import (
 	"time"
 
 	"sfi"
+	"sfi/internal/dist"
 	"sfi/internal/obs"
 )
 
@@ -80,6 +87,12 @@ type benchRecord struct {
 		WarmClones   float64 `json:"warm_clones"`
 		FreshWorkers float64 `json:"fresh_workers"`
 	} `json:"campaign_inj_per_sec"`
+
+	DistLoopback struct {
+		ObsOffMs    float64 `json:"obs_off_ms"`
+		ObsOnMs     float64 `json:"obs_on_ms"`
+		OverheadPct float64 `json:"overhead_pct"`
+	} `json:"dist_loopback"`
 }
 
 type baselineRecord struct {
@@ -98,8 +111,17 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	fmt.Fprintf(os.Stderr, "sfi-bench: injection %.0f ns/op off, %.0f ns/op on (overhead %+.2f%%)\n",
 		offNs, onNs, 100*overhead)
 
+	fmt.Fprintln(os.Stderr, "sfi-bench: measuring distributed loopback (fleet observability off/on)...")
+	distOff, distOn, err := measureDistPaired(3)
+	if err != nil {
+		return err
+	}
+	distOverhead := (distOn - distOff) / distOff
+	fmt.Fprintf(os.Stderr, "sfi-bench: dist loopback %.0f ms off, %.0f ms on (overhead %+.2f%%)\n",
+		1000*distOff, 1000*distOn, 100*distOverhead)
+
 	if guard || record {
-		gerr := runGuard(baselinePath, record, offNs, overhead)
+		gerr := runGuard(baselinePath, record, offNs, overhead, distOverhead)
 		if gerr != nil && !record {
 			// One fresh measurement before failing: a transient load burst
 			// inflates both measurements and passes the retry, while a real
@@ -109,9 +131,15 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 			if merr != nil {
 				return merr
 			}
+			dOff2, dOn2, merr := measureDistPaired(3)
+			if merr != nil {
+				return merr
+			}
 			offNs, onNs = min(offNs, off2), min(onNs, on2)
+			distOff, distOn = min(distOff, dOff2), min(distOn, dOn2)
 			overhead = (onNs - offNs) / offNs
-			gerr = runGuard(baselinePath, false, offNs, overhead)
+			distOverhead = (distOn - distOff) / distOff
+			gerr = runGuard(baselinePath, false, offNs, overhead, distOverhead)
 		}
 		if gerr != nil {
 			return gerr
@@ -164,6 +192,9 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	}
 	rec.CampaignInjPerSec.WarmClones = warm.metrics["inj/s"]
 	rec.CampaignInjPerSec.FreshWorkers = fresh.metrics["inj/s"]
+	rec.DistLoopback.ObsOffMs = 1000 * distOff
+	rec.DistLoopback.ObsOnMs = 1000 * distOn
+	rec.DistLoopback.OverheadPct = 100 * distOverhead
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -177,13 +208,18 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	return nil
 }
 
-// runGuard enforces the two 5% budgets: no-op-observability regression
-// against the recorded baseline, and metrics-on overhead against the
-// in-run metrics-off measurement.
-func runGuard(path string, record bool, offNsOp, overhead float64) error {
+// runGuard enforces the three 5% budgets: no-op-observability regression
+// against the recorded baseline, metrics-on overhead against the in-run
+// metrics-off measurement, and fleet-observability (heartbeat piggyback +
+// trace attach) overhead on the distributed loopback path.
+func runGuard(path string, record bool, offNsOp, overhead, distOverhead float64) error {
 	if overhead > tolerance {
 		return fmt.Errorf("observability overhead %.2f%% exceeds the %.0f%% budget",
 			100*overhead, 100*tolerance)
+	}
+	if distOverhead > tolerance {
+		return fmt.Errorf("distributed fleet-observability overhead %.2f%% exceeds the %.0f%% budget",
+			100*distOverhead, 100*tolerance)
 	}
 	data, err := os.ReadFile(path)
 	switch {
@@ -275,6 +311,92 @@ func measureInjectionPaired(rounds int) (offNs, onNs float64, err error) {
 	}
 	return float64(offBest.Nanoseconds()) / perRound,
 		float64(onBest.Nanoseconds()) / perRound, nil
+}
+
+// runDistLoopback executes one small distributed campaign — an in-process
+// coordinator on a loopback listener, two real RunWorker loops over the
+// real HTTP protocol — and returns its wall time. With obsOn, workers run
+// the full fleet-observability path (shard metrics, heartbeat snapshot
+// deltas, trace attachment); otherwise the NoObs path, which is PR 3's
+// behavior.
+func runDistLoopback(obsOn bool) (time.Duration, error) {
+	rc := sfi.DefaultRunnerConfig()
+	rc.AVP.Testcases = 8
+	rc.AVP.BodyOps = 24
+	coord, err := dist.NewCoordinator(dist.CoordConfig{
+		Campaign: dist.CampaignSpec{
+			Runner:       rc,
+			Seed:         7,
+			Flips:        480,
+			ShardWorkers: 1,
+		},
+		ShardSize: 60,
+		// Short TTL so heartbeats (at TTL/3) actually fire mid-shard and
+		// the piggyback path is exercised, not idle.
+		LeaseTTL: 300 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer coord.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	start := time.Now()
+	workerErr := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			workerErr <- dist.RunWorker(ctx, dist.WorkerConfig{
+				Coordinator: "http://" + ln.Addr().String(),
+				ID:          fmt.Sprintf("bench-%d", i),
+				PollEvery:   20 * time.Millisecond,
+				NoObs:       !obsOn,
+			})
+		}(i)
+	}
+	if _, err := coord.Wait(ctx); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	for i := 0; i < 2; i++ {
+		if werr := <-workerErr; werr != nil {
+			return 0, werr
+		}
+	}
+	return elapsed, nil
+}
+
+// measureDistPaired times the distributed loopback campaign with fleet
+// observability off and on in interleaved rounds (same rationale as
+// measureInjectionPaired), keeping the best wall time of each side. The
+// measured delta is the cost of shard metrics collection, heartbeat delta
+// piggybacking and completion trace attachment.
+func measureDistPaired(rounds int) (offSec, onSec float64, err error) {
+	offBest, onBest := time.Duration(1<<62), time.Duration(1<<62)
+	for round := 0; round < rounds; round++ {
+		d, err := runDistLoopback(false)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d < offBest {
+			offBest = d
+		}
+		d, err = runDistLoopback(true)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d < onBest {
+			onBest = d
+		}
+	}
+	return offBest.Seconds(), onBest.Seconds(), nil
 }
 
 // goBench runs the selected benchmarks and returns the combined output.

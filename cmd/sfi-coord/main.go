@@ -5,11 +5,19 @@
 // restart, and prints the merged report — identical to a single-process
 // run of the same campaign — when the last shard lands.
 //
+// While the campaign runs the lease address also serves the fleet view:
+// GET /v1/status (per-shard state machine, per-worker rates, live totals),
+// GET /metrics (live fleet-wide Prometheus metrics, merged from worker
+// heartbeat deltas and completed-shard snapshots) and GET /progress.
+// Lifecycle events (lease grants, requeues, completions) go to stderr as
+// structured JSON logs; -shard-trace records them as JSONL for post-hoc
+// forensics.
+//
 // Examples:
 //
 //	sfi-coord -addr :8430 -flips 100000                 # whole-core campaign
 //	sfi-coord -addr :8430 -flips 20000 -unit LSU        # targeted
-//	sfi-coord -addr :8430 -flips 100000 -journal c.jnl  # resumable
+//	sfi-coord -addr :8430 -flips 100000 -journal c.jnl  # resumable + shard trace
 //
 // Then, on each machine:
 //
@@ -17,23 +25,27 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
 
-	"sfi/internal/core"
+	"sfi"
 	"sfi/internal/dist"
+	"sfi/internal/obs"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8430", "listen address for the worker/lease API")
+		addr      = flag.String("addr", ":8430", "listen address for the worker/lease API and fleet views")
 		flips     = flag.Int("flips", 10000, "number of latch bits to inject")
 		seed      = flag.Uint64("seed", 1, "sampling seed")
 		unit      = flag.String("unit", "", "target one unit")
@@ -44,15 +56,22 @@ func main() {
 		ttl       = flag.Duration("lease-ttl", 10*time.Second, "shard lease TTL; workers heartbeat at TTL/3")
 		attempts  = flag.Int("max-attempts", 3, "lease grants per shard before the campaign fails")
 		journal   = flag.String("journal", "", "completed-shard journal for coordinator restart ('' = none)")
+		shardTr   = flag.String("shard-trace", "auto", "shard-lifecycle trace JSONL file ('auto' = journal + .trace when -journal is set, '' = off)")
 		jsonOut   = flag.Bool("json", false, "emit the merged report as JSON")
-		quiet     = flag.Bool("quiet", false, "suppress the periodic progress line")
+		progress  = flag.Bool("progress", true, "live fleet progress line on stderr")
+		logLevel  = flag.String("log-level", "info", "event log level (debug, info, warn, error)")
+		logText   = flag.Bool("log-text", false, "logfmt-style text event logs instead of JSON")
+		httpAddr  = flag.String("http", "", "extra debug listener: /debug/vars (expvar) and /debug/pprof")
+		quiet     = flag.Bool("quiet", false, "no progress line, warnings and errors only")
 	)
 	flag.Parse()
 
 	if err := run(*addr, coordArgs{
 		flips: *flips, seed: *seed, unit: *unit, typ: *typ, macro: *macro,
 		keep: *keep, shardSize: *shardSize, ttl: *ttl, attempts: *attempts,
-		journal: *journal, jsonOut: *jsonOut, quiet: *quiet,
+		journal: *journal, shardTrace: *shardTr, jsonOut: *jsonOut,
+		progress: *progress, logLevel: *logLevel, logText: *logText,
+		httpAddr: *httpAddr, quiet: *quiet,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sfi-coord:", err)
 		os.Exit(1)
@@ -68,7 +87,12 @@ type coordArgs struct {
 	ttl              time.Duration
 	attempts         int
 	journal          string
+	shardTrace       string
 	jsonOut          bool
+	progress         bool
+	logLevel         string
+	logText          bool
+	httpAddr         string
 	quiet            bool
 }
 
@@ -99,9 +123,21 @@ func run(addr string, a coordArgs) error {
 	if err != nil {
 		return err
 	}
-	coord, err := dist.NewCoordinator(dist.CoordConfig{
+	level, err := obs.ParseLogLevel(a.logLevel)
+	if err != nil {
+		return err
+	}
+	if a.quiet {
+		a.progress = false
+		if level < slog.LevelWarn {
+			level = slog.LevelWarn
+		}
+	}
+	log := obs.NewLogger(os.Stderr, level, !a.logText)
+
+	cfg := dist.CoordConfig{
 		Campaign: dist.CampaignSpec{
-			Runner:      core.DefaultRunnerConfig(),
+			Runner:      sfi.DefaultRunnerConfig(),
 			Seed:        a.seed,
 			Flips:       a.flips,
 			Filter:      filter,
@@ -111,7 +147,40 @@ func run(addr string, a coordArgs) error {
 		LeaseTTL:    a.ttl,
 		MaxAttempts: a.attempts,
 		Journal:     a.journal,
-	})
+		Log:         log,
+	}
+
+	if a.shardTrace == "auto" {
+		a.shardTrace = ""
+		if a.journal != "" {
+			a.shardTrace = a.journal + ".trace"
+		}
+	}
+	var traceFlush func() error
+	if a.shardTrace != "" {
+		f, err := os.Create(a.shardTrace)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		sink := obs.NewTraceSink(bw, obs.TraceOptions{})
+		cfg.ShardTrace = sink
+		traceFlush = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			if err := sink.Err(); err != nil {
+				return fmt.Errorf("shard trace write: %w", err)
+			}
+			log.Info("shard trace written", "path", a.shardTrace, "events", sink.Recorded())
+			return nil
+		}
+	}
+
+	coord, err := dist.NewCoordinator(cfg)
 	if err != nil {
 		return err
 	}
@@ -124,11 +193,27 @@ func run(addr string, a coordArgs) error {
 	srv := &http.Server{Handler: coord.Handler()}
 	go srv.Serve(ln)
 	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "coordinator on http://%s (POST /v1/lease, GET /progress, GET /metrics)\n", ln.Addr())
+	log.Info("coordinator listening", "addr", ln.Addr().String(),
+		"endpoints", "POST /v1/lease, GET /v1/status, GET /progress, GET /metrics")
+
+	if a.httpAddr != "" {
+		dln, err := net.Listen("tcp", a.httpAddr)
+		if err != nil {
+			return err
+		}
+		// expvar's /debug/vars and pprof's /debug/pprof are registered on
+		// the default mux by their package inits; publish the live fleet
+		// snapshot there too.
+		sfi.PublishMetricsExpvar("sfi_fleet", coord.FleetSnapshot)
+		go http.Serve(dln, nil)
+		log.Info("debug listener", "addr", dln.Addr().String(),
+			"endpoints", "/debug/vars, /debug/pprof")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if !a.quiet {
+	start := time.Now()
+	if a.progress {
 		go func() {
 			t := time.NewTicker(2 * time.Second)
 			defer t.Stop()
@@ -138,23 +223,30 @@ func run(addr string, a coordArgs) error {
 					return
 				case <-t.C:
 					p := coord.Progress()
-					fmt.Fprintf(os.Stderr, "\rshards %d/%d done, %d leased — %d/%d injections",
-						p.Done, p.Shards, p.Leased, p.Injections, p.Total)
+					fp := sfi.ProgressFrom(coord.FleetSnapshot(), p.Total, 0, start)
+					line := fmt.Sprintf("%s — shards %d/%d done, %d leased, %d requeued",
+						fp.Line(), p.Done, p.Shards, p.Leased, p.Requeues)
+					fmt.Fprintf(os.Stderr, "\r%-100s", line)
 				}
 			}
 		}()
 	}
 
-	start := time.Now()
 	rep, err := coord.Wait(ctx)
-	if !a.quiet {
+	if a.progress {
 		fmt.Fprintln(os.Stderr)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "campaign: %d injections in %v (merged from %d shards)\n",
-		rep.Total, time.Since(start).Round(time.Millisecond), coord.Progress().Shards)
+	if traceFlush != nil {
+		if err := traceFlush(); err != nil {
+			return err
+		}
+	}
+	log.Info("campaign merged", "injections", rep.Total,
+		"elapsed", time.Since(start).Round(time.Millisecond).String(),
+		"shards", coord.Progress().Shards)
 	if a.jsonOut {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -1,9 +1,14 @@
 // Command sfi-worker executes shards of a distributed fault-injection
 // campaign on behalf of an sfi-coord coordinator. It polls for shard
 // leases, builds and warms the model once, runs each leased shard over the
-// warm-clone worker pool, heartbeats while it works, and posts the shard
-// report back. It exits cleanly when the coordinator declares the campaign
-// over.
+// warm-clone worker pool, heartbeats while it works — piggybacking metric
+// deltas that feed the coordinator's live fleet view — and posts the shard
+// report (with a sampled trace segment attached) back. It exits cleanly
+// when the coordinator declares the campaign over.
+//
+// Lifecycle events go to stderr as structured JSON logs; -http serves
+// worker-local debug views (/debug/pprof, /debug/vars, /metrics,
+// /progress) while shards run.
 //
 // Example:
 //
@@ -12,41 +17,159 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
+	"sfi"
 	"sfi/internal/dist"
+	"sfi/internal/obs"
 )
 
 func main() {
 	var (
-		coord   = flag.String("coord", "http://localhost:8430", "coordinator base URL")
-		id      = flag.String("id", "", "worker id (default host-pid)")
-		workers = flag.Int("workers", 0, "concurrent model copies per shard (0 = campaign default)")
-		poll    = flag.Duration("poll", 250*time.Millisecond, "lease poll period when no shard is available")
-		quiet   = flag.Bool("quiet", false, "suppress per-shard logs")
+		coord    = flag.String("coord", "http://localhost:8430", "coordinator base URL")
+		id       = flag.String("id", "", "worker id (default host-pid)")
+		workers  = flag.Int("workers", 0, "concurrent model copies per shard (0 = campaign default)")
+		poll     = flag.Duration("poll", 250*time.Millisecond, "lease poll period when no shard is available")
+		trace    = flag.String("trace", "", "local JSONL injection trace file ('' = off)")
+		sample   = flag.Int("trace-sample", 0, "record every Nth injection to -trace (0 = all)")
+		attach   = flag.Int("trace-attach", 32, "sampled trace lines attached per shard completion (negative = off)")
+		logLevel = flag.String("log-level", "info", "event log level (debug, info, warn, error)")
+		logText  = flag.Bool("log-text", false, "logfmt-style text event logs instead of JSON")
+		httpAddr = flag.String("http", "", "debug listener: /debug/vars, /debug/pprof, /metrics, /progress")
+		quiet    = flag.Bool("quiet", false, "warnings and errors only")
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
-	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
-	if *quiet {
-		logf = nil
-	}
-	if err := dist.RunWorker(ctx, dist.WorkerConfig{
-		Coordinator: *coord,
-		ID:          *id,
-		Workers:     *workers,
-		PollEvery:   *poll,
-		Logf:        logf,
+	if err := run(workerArgs{
+		coord: *coord, id: *id, workers: *workers, poll: *poll,
+		trace: *trace, sample: *sample, attach: *attach,
+		logLevel: *logLevel, logText: *logText, httpAddr: *httpAddr,
+		quiet: *quiet,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sfi-worker:", err)
 		os.Exit(1)
 	}
+}
+
+type workerArgs struct {
+	coord, id      string
+	workers        int
+	poll           time.Duration
+	trace          string
+	sample, attach int
+	logLevel       string
+	logText        bool
+	httpAddr       string
+	quiet          bool
+}
+
+// shardProgress is the worker's live view of its current shard, served at
+// /progress and /metrics on the debug listener.
+type shardProgress struct {
+	mu    sync.Mutex
+	shard dist.ShardLease
+	p     sfi.Progress
+}
+
+func (s *shardProgress) set(sh dist.ShardLease, p sfi.Progress) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shard, s.p = sh, p
+}
+
+func (s *shardProgress) get() (dist.ShardLease, sfi.Progress) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shard, s.p
+}
+
+func (s *shardProgress) snapshot() *sfi.MetricsSnapshot {
+	_, p := s.get()
+	if p.Metrics == nil {
+		return obs.NewSnapshot()
+	}
+	return p.Metrics
+}
+
+func run(a workerArgs) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	level, err := obs.ParseLogLevel(a.logLevel)
+	if err != nil {
+		return err
+	}
+	if a.quiet && level < slog.LevelWarn {
+		level = slog.LevelWarn
+	}
+	log := obs.NewLogger(os.Stderr, level, !a.logText)
+
+	cfg := dist.WorkerConfig{
+		Coordinator: a.coord,
+		ID:          a.id,
+		Workers:     a.workers,
+		PollEvery:   a.poll,
+		Log:         log,
+		TraceSample: a.sample,
+		TraceAttach: a.attach,
+	}
+
+	var traceFlush func() error
+	if a.trace != "" {
+		f, err := os.Create(a.trace)
+		if err != nil {
+			return err
+		}
+		cfg.TraceW = f
+		traceFlush = func() error {
+			if err := f.Close(); err != nil {
+				return err
+			}
+			log.Info("trace written", "path", a.trace)
+			return nil
+		}
+	}
+
+	live := &shardProgress{}
+	cfg.OnProgress = live.set
+
+	if a.httpAddr != "" {
+		ln, err := net.Listen("tcp", a.httpAddr)
+		if err != nil {
+			return err
+		}
+		// expvar's /debug/vars and pprof's /debug/pprof are registered on
+		// the default mux by their package inits; add the worker views.
+		sfi.PublishMetricsExpvar("sfi_worker", live.snapshot)
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			live.snapshot().WritePrometheus(w, "sfi")
+		})
+		http.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+			sh, p := live.get()
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{"shard": sh, "progress": p})
+		})
+		go http.Serve(ln, nil)
+		log.Info("debug listener", "addr", ln.Addr().String(),
+			"endpoints", "/debug/vars, /debug/pprof, /metrics, /progress")
+	}
+
+	if err := dist.RunWorker(ctx, cfg); err != nil {
+		return err
+	}
+	if traceFlush != nil {
+		return traceFlush()
+	}
+	return nil
 }

@@ -32,7 +32,6 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
-	"strings"
 	"sync"
 	"time"
 
@@ -411,6 +410,7 @@ func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration
 			})
 		}(i)
 	}
+	start := time.Now()
 	if a.progress {
 		go func() {
 			t := time.NewTicker(500 * time.Millisecond)
@@ -420,16 +420,19 @@ func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration
 				case <-ctx.Done():
 					return
 				case <-t.C:
+					// The fleet snapshot covers completed shards exactly plus
+					// heartbeat-reported in-flight work, so the line moves
+					// between shard completions too.
 					p := coord.Progress()
-					line := fmt.Sprintf("shards %d/%d done, %d leased — %d/%d injections",
-						p.Done, p.Shards, p.Leased, p.Injections, p.Total)
+					fp := sfi.ProgressFrom(coord.FleetSnapshot(), p.Total, 0, start)
+					line := fmt.Sprintf("%s — shards %d/%d done, %d leased",
+						fp.Line(), p.Done, p.Shards, p.Leased)
 					fmt.Fprintf(os.Stderr, "\r%-78s", line)
 				}
 			}
 		}()
 	}
 
-	start := time.Now()
 	rep, err := coord.Wait(ctx)
 	elapsed := time.Since(start)
 	if a.progress {
@@ -448,31 +451,10 @@ func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration
 }
 
 // renderProgress draws one live progress line to w (carriage-return
-// overwritten in place).
+// overwritten in place). The line itself is Progress.Line, shared with
+// the coordinator's fleet progress.
 func renderProgress(w *os.File, p sfi.Progress) {
-	// Short outcome tags (checkstop is "k": "c" is taken by corrected).
-	tags := map[sfi.Outcome]string{
-		sfi.Vanished: "v", sfi.Corrected: "c", sfi.Hang: "h",
-		sfi.Checkstop: "k", sfi.SDC: "s",
-	}
-	var mix strings.Builder
-	for _, o := range sfi.Outcomes {
-		if n := p.Outcomes[o]; n > 0 {
-			fmt.Fprintf(&mix, " %s:%d", tags[o], n)
-		}
-	}
-	eta := "-"
-	if p.ETA > 0 {
-		eta = p.ETA.Round(time.Second).String()
-	}
-	pct := 0.0
-	if p.Total > 0 {
-		pct = 100 * float64(p.Done) / float64(p.Total)
-	}
-	line := fmt.Sprintf("%d/%d (%.1f%%)  %.0f inj/s  eta %s  busy %.0f%% [%s]",
-		p.Done, p.Total, pct, p.Rate, eta, 100*p.Utilization,
-		strings.TrimSpace(mix.String()))
-	fmt.Fprintf(w, "\r%-78s", line)
+	fmt.Fprintf(w, "\r%-78s", p.Line())
 }
 
 // printSummary renders the end-of-run summary from the campaign's metrics

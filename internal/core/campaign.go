@@ -242,8 +242,13 @@ func outcomeNames() []string {
 	return names
 }
 
-// progressFrom derives a Progress view from a merged metrics snapshot.
-func progressFrom(s *obs.Snapshot, total, workers int, start time.Time) Progress {
+// ProgressFrom derives a Progress view from a merged metrics snapshot —
+// rate, ETA and outcome mix over whatever the snapshot covers. It is the
+// shared derivation for local campaigns (per-worker collectors merged) and
+// fleet views (a distributed coordinator's aggregated worker snapshots);
+// workers is the concurrent-model-copy count for the utilization estimate
+// (pass 0 when unknown — utilization is then reported as 0).
+func ProgressFrom(s *obs.Snapshot, total, workers int, start time.Time) Progress {
 	elapsed := time.Since(start)
 	p := Progress{
 		Done:     int(s.Injections),
@@ -260,12 +265,49 @@ func progressFrom(s *obs.Snapshot, total, workers int, start time.Time) Progress
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		p.Rate = float64(p.Done) / sec
-		p.Utilization = float64(s.BusyNs) / (float64(workers) * float64(elapsed.Nanoseconds()))
+		if workers > 0 {
+			p.Utilization = float64(s.BusyNs) / (float64(workers) * float64(elapsed.Nanoseconds()))
+		}
 	}
 	if p.Rate > 0 && p.Done < p.Total {
 		p.ETA = time.Duration(float64(p.Total-p.Done) / p.Rate * float64(time.Second))
 	}
 	return p
+}
+
+// progressTags are the single-letter outcome tags of the live progress
+// line (checkstop is "k": "c" is taken by corrected).
+var progressTags = map[Outcome]string{
+	Vanished: "v", Corrected: "c", Hang: "h", Checkstop: "k", SDC: "s",
+}
+
+// Line renders the progress view as one human-readable status line —
+// `done/total (pct)  rate  eta  busy  [outcome mix]` — shared by cmd/sfi's
+// local progress renderer and the distributed coordinator's fleet
+// progress line.
+func (p Progress) Line() string {
+	var mix strings.Builder
+	for _, o := range Outcomes {
+		if n := p.Outcomes[o]; n > 0 {
+			fmt.Fprintf(&mix, " %s:%d", progressTags[o], n)
+		}
+	}
+	eta := "-"
+	if p.ETA > 0 {
+		eta = p.ETA.Round(time.Second).String()
+	}
+	pct := 0.0
+	if p.Total > 0 {
+		pct = 100 * float64(p.Done) / float64(p.Total)
+	}
+	line := fmt.Sprintf("%d/%d (%.1f%%)  %.0f inj/s  eta %s", p.Done, p.Total, pct, p.Rate, eta)
+	if p.Utilization > 0 {
+		line += fmt.Sprintf("  busy %.0f%%", 100*p.Utilization)
+	}
+	if mix.Len() > 0 {
+		line += fmt.Sprintf(" [%s]", strings.TrimSpace(mix.String()))
+	}
+	return line
 }
 
 // SampleCampaignBits draws the campaign's full deterministic injection
@@ -403,7 +445,7 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 				case <-stopProg:
 					return
 				case <-t.C:
-					cfg.Obs.Progress(progressFrom(mergedSnapshot(), len(bits), workers, start))
+					cfg.Obs.Progress(ProgressFrom(mergedSnapshot(), len(bits), workers, start))
 				}
 			}
 		}()
@@ -479,7 +521,7 @@ drain:
 	if cfg.Obs.Progress != nil {
 		// One final, complete update (the ticker goroutine has stopped, so
 		// this never races with a periodic call).
-		cfg.Obs.Progress(progressFrom(rep.Metrics, len(bits), workers, start))
+		cfg.Obs.Progress(ProgressFrom(rep.Metrics, len(bits), workers, start))
 	}
 	return rep, nil
 }

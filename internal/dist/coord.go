@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -38,6 +39,19 @@ type CoordConfig struct {
 	// coordinator restarted over the same journal resumes with those
 	// shards already done. "" disables journaling.
 	Journal string
+
+	// Log receives structured coordinator lifecycle events (lease grants,
+	// requeues, completions, journal replay) with campaign/shard/worker
+	// attributes. nil logs nothing.
+	Log *slog.Logger
+
+	// ShardTrace, when non-nil, receives one JSONL obs.ShardEvent per
+	// shard-lifecycle transition (lease grant, heartbeat gap, expiry,
+	// requeue with attempt count, completion with latency) plus any
+	// sampled injection-trace segments workers attach to completions —
+	// the after-the-fact forensics trail for requeue storms and straggler
+	// workers.
+	ShardTrace *obs.TraceSink
 }
 
 type shardStatus int
@@ -55,6 +69,24 @@ type shard struct {
 	deadline time.Time
 	attempts int // lease grants so far
 	report   *core.Report
+
+	leasedAt time.Time // grant time of the current lease
+	lastBeat time.Time // last heartbeat of the current lease (zero until one arrives)
+	liveInj  uint64    // injections reported via heartbeat deltas this lease
+}
+
+// fleetKey names the shard's stream in the fleet aggregator.
+func (s *shard) fleetKey() string { return fmt.Sprintf("shard-%d", s.ID) }
+
+// workerStats is the coordinator's per-worker ledger, fed by lease grants,
+// heartbeat deltas and completions.
+type workerStats struct {
+	firstSeen  time.Time
+	lastSeen   time.Time
+	injections uint64 // classified injections credited to this worker
+	busyNs     uint64 // wall nanoseconds its model copies spent injecting
+	shardsDone int
+	failures   int // /v1/fail reports
 }
 
 // Coordinator owns a campaign's shard ledger and serves the lease
@@ -62,12 +94,26 @@ type shard struct {
 // handlers, the lease reaper and Wait share it.
 type Coordinator struct {
 	cfg CoordConfig
+	log *slog.Logger
+
+	// fleet is the live fleet-wide metrics view: heartbeat deltas of
+	// in-flight shards plus the exact final snapshots of completed ones.
+	// It has its own lock and is deliberately outside mu — /metrics
+	// scrapes never contend with the lease path.
+	fleet *obs.Fleet
+
+	// Coordinator-side latency histograms (lock-free).
+	completionMs obs.Hist // lease grant → completion, per completed shard
+	beatGapMs    obs.Hist // observed heartbeat silence beyond 2× the expected period
 
 	mu       sync.Mutex
 	shards   []*shard
 	queue    []int // pending shard IDs, FIFO
 	done     int
 	grants   int // total lease grants (observability)
+	requeues int // total shard requeues (expiry + explicit fails)
+	workers  map[string]*workerStats
+	started  time.Time
 	err      error
 	finished chan struct{} // closed once done==len(shards) or err is set
 	journal  *journal
@@ -95,8 +141,15 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 3
 	}
+	if cfg.Log == nil {
+		cfg.Log = obs.NopLogger()
+	}
 	c := &Coordinator{
 		cfg:        cfg,
+		log:        cfg.Log.With("seed", cfg.Campaign.Seed, "flips", cfg.Campaign.Flips),
+		fleet:      obs.NewFleet(),
+		workers:    make(map[string]*workerStats),
+		started:    time.Now(),
 		finished:   make(chan struct{}),
 		stopReaper: make(chan struct{}),
 		reaperDone: make(chan struct{}),
@@ -113,7 +166,7 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 			Flips:     cfg.Campaign.Flips,
 			ShardSize: cfg.ShardSize,
 			Filter:    cfg.Campaign.Filter,
-		})
+		}, c.log)
 		if err != nil {
 			return nil, err
 		}
@@ -125,6 +178,9 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 			}
 			c.markDoneLocked(c.shards[id], rep)
 		}
+		if len(recovered) > 0 {
+			c.log.Info("journal replayed", "path", cfg.Journal, "shards_recovered", len(recovered))
+		}
 	}
 	// Queue whatever the journal didn't already settle.
 	for _, s := range c.shards {
@@ -132,6 +188,9 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 			c.queue = append(c.queue, s.ID)
 		}
 	}
+	c.log.Info("campaign planned",
+		"shards", len(c.shards), "shard_size", cfg.ShardSize,
+		"pending", len(c.queue), "lease_ttl", cfg.LeaseTTL)
 	go c.reaper()
 	return c, nil
 }
@@ -168,6 +227,27 @@ func (c *Coordinator) reaper() {
 	}
 }
 
+// shardEvent emits one lifecycle event to the shard trace (no-op without
+// a configured sink).
+func (c *Coordinator) shardEvent(s *shard, kind string, mut func(*obs.ShardEvent)) {
+	if c.cfg.ShardTrace == nil {
+		return
+	}
+	ev := &obs.ShardEvent{
+		Kind:    kind,
+		TS:      time.Now().UnixNano(),
+		Shard:   s.ID,
+		Lo:      s.Lo,
+		Hi:      s.Hi,
+		Worker:  s.owner,
+		Attempt: s.attempts,
+	}
+	if mut != nil {
+		mut(ev)
+	}
+	c.cfg.ShardTrace.RecordShard(ev)
+}
+
 // sweepLocked expires overdue leases. A shard that has used all its
 // attempts fails the campaign; otherwise it goes back on the queue for
 // another worker.
@@ -176,24 +256,49 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 		if s.status != shardLeased || now.Before(s.deadline) {
 			continue
 		}
+		c.log.Warn("lease expired",
+			"shard", s.ID, "worker", s.owner, "attempt", s.attempts,
+			"silence", now.Sub(c.lastSignalLocked(s)).Round(time.Millisecond))
+		c.shardEvent(s, "expired", func(ev *obs.ShardEvent) {
+			ev.GapMs = now.Sub(c.lastSignalLocked(s)).Milliseconds()
+		})
 		c.requeueLocked(s, fmt.Sprintf("lease by %q expired", s.owner))
 	}
+}
+
+// lastSignalLocked is the last time the shard's current owner was heard
+// from: its last heartbeat, or the lease grant if it never beat.
+func (c *Coordinator) lastSignalLocked(s *shard) time.Time {
+	if !s.lastBeat.IsZero() {
+		return s.lastBeat
+	}
+	return s.leasedAt
 }
 
 func (c *Coordinator) requeueLocked(s *shard, why string) {
 	s.status = shardPending
 	s.owner = ""
+	s.lastBeat = time.Time{}
+	s.liveInj = 0
+	c.requeues++
+	// The abandoned lease's partial metrics would double-count the
+	// injections its replacement will redo.
+	c.fleet.Discard(s.fleetKey())
 	if s.attempts >= c.cfg.MaxAttempts {
+		c.shardEvent(s, "exhausted", func(ev *obs.ShardEvent) { ev.Detail = why })
 		c.failLocked(fmt.Errorf("dist: shard %d [%d,%d) failed %d of %d attempts (last: %s)",
 			s.ID, s.Lo, s.Hi, s.attempts, c.cfg.MaxAttempts, why))
 		return
 	}
+	c.shardEvent(s, "requeued", func(ev *obs.ShardEvent) { ev.Detail = why })
+	c.log.Info("shard requeued", "shard", s.ID, "attempt", s.attempts, "why", why)
 	c.queue = append(c.queue, s.ID)
 }
 
 func (c *Coordinator) failLocked(err error) {
 	if c.err == nil && c.done < len(c.shards) {
 		c.err = err
+		c.log.Error("campaign failed", "err", err)
 		close(c.finished)
 	}
 }
@@ -205,8 +310,20 @@ func (c *Coordinator) markDoneLocked(s *shard, rep *core.Report) {
 	s.status = shardDone
 	s.owner = ""
 	s.report = rep
+	// Replace the shard's live heartbeat deltas with its exact final
+	// snapshot: the fleet view now counts this shard's injections exactly
+	// once, and converges to the merged-report snapshot when the campaign
+	// completes.
+	var final *obs.Snapshot
+	if rep != nil {
+		final = rep.Metrics
+	}
+	c.fleet.Seal(s.fleetKey(), final)
 	c.done++
 	if c.done == len(c.shards) && c.err == nil {
+		c.log.Info("campaign complete",
+			"shards", len(c.shards), "grants", c.grants, "requeues", c.requeues,
+			"elapsed", time.Since(c.started).Round(time.Millisecond))
 		close(c.finished)
 	}
 }
@@ -240,14 +357,15 @@ func (c *Coordinator) Wait(ctx context.Context) (*core.Report, error) {
 
 // Progress is a point-in-time view of the distributed campaign.
 type Progress struct {
-	Shards     int   `json:"shards"`
-	Done       int   `json:"done"`
-	Leased     int   `json:"leased"`
-	Pending    int   `json:"pending"`
-	Grants     int   `json:"lease_grants"`
-	Injections int   `json:"injections_done"`
-	Total      int   `json:"injections_total"`
-	Failed     bool  `json:"failed"`
+	Shards     int    `json:"shards"`
+	Done       int    `json:"done"`
+	Leased     int    `json:"leased"`
+	Pending    int    `json:"pending"`
+	Grants     int    `json:"lease_grants"`
+	Requeues   int    `json:"requeues"`
+	Injections int    `json:"injections_done"`
+	Total      int    `json:"injections_total"`
+	Failed     bool   `json:"failed"`
 	Error      string `json:"error,omitempty"`
 	// Outcomes is the outcome mix over completed shards.
 	Outcomes map[string]int `json:"outcomes,omitempty"`
@@ -261,6 +379,7 @@ func (c *Coordinator) Progress() Progress {
 		Shards:   len(c.shards),
 		Done:     c.done,
 		Grants:   c.grants,
+		Requeues: c.requeues,
 		Total:    c.cfg.Campaign.Flips,
 		Failed:   c.err != nil,
 		Outcomes: make(map[string]int),
@@ -275,6 +394,9 @@ func (c *Coordinator) Progress() Progress {
 		case shardPending:
 			p.Pending++
 		case shardDone:
+			if s.report == nil {
+				continue
+			}
 			p.Injections += s.report.Total
 			for o, n := range s.report.Counts {
 				p.Outcomes[o.String()] += n
@@ -284,44 +406,73 @@ func (c *Coordinator) Progress() Progress {
 	return p
 }
 
-// snapshot merges the metrics snapshots of completed shards (for the
-// /metrics endpoint).
-func (c *Coordinator) snapshot() *obs.Snapshot {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := obs.NewSnapshot()
-	for _, sh := range c.shards {
-		if sh.status == shardDone && sh.report.Metrics != nil {
-			s.Merge(sh.report.Metrics)
-		}
-	}
-	return s
+// FleetSnapshot returns the live fleet-wide metrics view: heartbeat
+// deltas of in-flight shards plus the exact final snapshots of completed
+// shards. Once the campaign completes it equals the merged Report's
+// snapshot counter for counter.
+func (c *Coordinator) FleetSnapshot() *obs.Snapshot {
+	return c.fleet.Snapshot()
 }
 
 // Handler returns the coordinator's HTTP API:
 //
 //	POST /v1/lease      lease the next pending shard (204 = none pending,
 //	                    410 = campaign over)
-//	POST /v1/heartbeat  extend a held lease (409 = lease lost)
+//	POST /v1/heartbeat  extend a held lease, optionally carrying a metrics
+//	                    delta (409 = lease lost)
 //	POST /v1/complete   deliver a shard report (idempotent)
 //	POST /v1/fail       give a shard back after a worker-side error
+//	GET  /v1/status     full fleet status, JSON (per-shard state machine,
+//	                    per-worker rates, live totals, rate/ETA)
 //	GET  /progress      campaign progress, JSON
-//	GET  /metrics       merged metrics over completed shards, Prometheus text
+//	GET  /metrics       live fleet-wide metrics (in-flight shard deltas +
+//	                    completed shard snapshots) plus coordinator shard
+//	                    latency histograms, Prometheus text
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/lease", c.handleLease)
 	mux.HandleFunc("POST /v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /v1/complete", c.handleComplete)
 	mux.HandleFunc("POST /v1/fail", c.handleFail)
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Status())
+	})
 	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(c.Progress())
+		writeJSON(w, c.Progress())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		c.snapshot().WritePrometheus(w, "sfi")
+		snap := c.FleetSnapshot()
+		snap.WritePrometheus(w, "sfi")
+		c.writeCoordMetrics(w)
 	})
 	return mux
+}
+
+// writeCoordMetrics appends the coordinator's own shard-ledger metrics to
+// a Prometheus scrape, after the fleet snapshot.
+func (c *Coordinator) writeCoordMetrics(w http.ResponseWriter) {
+	p := c.Progress()
+	fmt.Fprintf(w, "# TYPE sfi_coord_shards gauge\n")
+	for state, n := range map[string]int{"done": p.Done, "leased": p.Leased, "pending": p.Pending} {
+		fmt.Fprintf(w, "sfi_coord_shards{state=%q} %d\n", state, n)
+	}
+	fmt.Fprintf(w, "# TYPE sfi_coord_lease_grants_total counter\nsfi_coord_lease_grants_total %d\n", p.Grants)
+	fmt.Fprintf(w, "# TYPE sfi_coord_requeues_total counter\nsfi_coord_requeues_total %d\n", p.Requeues)
+	obs.WriteHistPrometheus(w, "sfi", "coord_shard_completion_ms", c.completionMs.Snapshot())
+	obs.WriteHistPrometheus(w, "sfi", "coord_heartbeat_gap_ms", c.beatGapMs.Snapshot())
+}
+
+// touchWorkerLocked updates the per-worker ledger and returns its entry.
+func (c *Coordinator) touchWorkerLocked(id string, now time.Time) *workerStats {
+	ws := c.workers[id]
+	if ws == nil {
+		ws = &workerStats{firstSeen: now}
+		c.workers[id] = ws
+		c.log.Info("worker joined", "worker", id)
+	}
+	ws.lastSeen = now
+	return ws
 }
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
@@ -332,6 +483,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	now := time.Now()
+	c.touchWorkerLocked(req.Worker, now)
 	c.sweepLocked(now)
 	if c.overLocked() {
 		c.mu.Unlock()
@@ -357,7 +509,12 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	s.owner = req.Worker
 	s.attempts++
 	c.grants++
+	s.leasedAt = now
+	s.lastBeat = time.Time{}
+	s.liveInj = 0
 	s.deadline = now.Add(c.cfg.LeaseTTL)
+	c.shardEvent(s, "lease", nil)
+	c.log.Debug("lease granted", "shard", s.ID, "worker", req.Worker, "attempt", s.attempts)
 	resp := leaseResponse{
 		Shard:    s.ShardLease,
 		Campaign: c.cfg.Campaign,
@@ -387,7 +544,25 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusConflict)
 		return
 	}
-	s.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	now := time.Now()
+	// A heartbeat that arrives far later than the worker's TTL/3 schedule
+	// marks a struggling worker or a congested path — record the gap
+	// before it grows into a lease expiry.
+	if gap, expect := now.Sub(c.lastSignalLocked(s)), c.cfg.LeaseTTL/3; gap > 2*expect {
+		c.beatGapMs.Observe(uint64(gap.Milliseconds()))
+		c.shardEvent(s, "heartbeat_gap", func(ev *obs.ShardEvent) { ev.GapMs = gap.Milliseconds() })
+		c.log.Warn("heartbeat gap", "shard", s.ID, "worker", req.Worker,
+			"gap", gap.Round(time.Millisecond))
+	}
+	s.lastBeat = now
+	s.deadline = now.Add(c.cfg.LeaseTTL)
+	ws := c.touchWorkerLocked(req.Worker, now)
+	if req.Delta != nil && !req.Delta.Empty() {
+		s.liveInj += req.Delta.Injections
+		ws.injections += req.Delta.Injections
+		ws.busyNs += req.Delta.BusyNs
+		c.fleet.Observe(s.fleetKey(), req.Delta)
+	}
 	writeJSON(w, heartbeatResponse{TTLMs: c.cfg.LeaseTTL.Milliseconds()})
 }
 
@@ -438,8 +613,48 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	now := time.Now()
+	ws := c.touchWorkerLocked(req.Worker, now)
+	ws.shardsDone++
+	// Credit the completing worker with whatever the heartbeat deltas
+	// hadn't already reported (the tail of the shard, or all of it when
+	// the shard outran its first heartbeat).
+	if rep.Metrics != nil {
+		ws.injections += sub64(rep.Metrics.Injections, s.liveInj)
+	} else {
+		ws.injections += sub64(uint64(rep.Total), s.liveInj)
+	}
+	var latency time.Duration
+	if s.status == shardLeased && s.owner == req.Worker && !s.leasedAt.IsZero() {
+		latency = now.Sub(s.leasedAt)
+		c.completionMs.Observe(uint64(latency.Milliseconds()))
+	}
+	c.shardEvent(s, "completed", func(ev *obs.ShardEvent) {
+		ev.Worker = req.Worker
+		ev.LatencyMs = latency.Milliseconds()
+	})
+	c.log.Info("shard completed", "shard", s.ID, "worker", req.Worker,
+		"injections", rep.Total, "latency", latency.Round(time.Millisecond),
+		"done", c.done+1, "shards", len(c.shards))
+	// Forward the worker's sampled trace segment into the shard trace,
+	// each line wrapped with its shard/worker provenance.
+	if c.cfg.ShardTrace != nil {
+		for _, line := range req.Trace {
+			c.cfg.ShardTrace.RecordJSON(attachedTrace{
+				Shard: s.ID, Worker: req.Worker, Injection: line,
+			})
+		}
+	}
 	c.markDoneLocked(s, rep)
 	w.WriteHeader(http.StatusOK)
+}
+
+// attachedTrace wraps one worker-attached injection trace line with its
+// provenance for the coordinator's shard trace.
+type attachedTrace struct {
+	Shard     int             `json:"shard"`
+	Worker    string          `json:"worker"`
+	Injection json.RawMessage `json:"injection"`
 }
 
 func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
@@ -459,6 +674,10 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusConflict)
 		return
 	}
+	c.log.Warn("shard failed by worker", "shard", s.ID, "worker", req.Worker, "err", req.Error)
+	c.shardEvent(s, "failed", func(ev *obs.ShardEvent) { ev.Detail = req.Error })
+	ws := c.touchWorkerLocked(req.Worker, time.Now())
+	ws.failures++
 	c.requeueLocked(s, fmt.Sprintf("worker %q reported: %s", req.Worker, req.Error))
 	w.WriteHeader(http.StatusOK)
 }
@@ -468,6 +687,13 @@ func (c *Coordinator) shardByID(id int) *shard {
 		return nil
 	}
 	return c.shards[id]
+}
+
+func sub64(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

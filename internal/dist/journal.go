@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"sfi/internal/core"
@@ -37,7 +38,7 @@ type journal struct {
 // described by hdr, returning the recovered shard reports. An existing
 // journal whose header does not match hdr is rejected: resuming a
 // different campaign over it would merge unrelated shards.
-func openJournal(path string, hdr journalHeader) (*journal, map[int]*core.Report, error) {
+func openJournal(path string, hdr journalHeader, log *slog.Logger) (*journal, map[int]*core.Report, error) {
 	recovered := make(map[int]*core.Report)
 	data, err := os.ReadFile(path)
 	switch {
@@ -55,13 +56,15 @@ func openJournal(path string, hdr journalHeader) (*journal, map[int]*core.Report
 			return nil, nil, fmt.Errorf("dist: journal %s belongs to a different campaign plan (%+v, want %+v)",
 				path, got, hdr)
 		}
-		for _, line := range lines[1:] {
+		for i, line := range lines[1:] {
 			if len(bytes.TrimSpace(line)) == 0 {
 				continue
 			}
 			var e journalEntry
 			if err := json.Unmarshal(line, &e); err != nil {
-				break // torn tail from a crash mid-append: rerun that shard
+				// Torn tail from a crash mid-append: rerun that shard.
+				log.Warn("journal torn tail ignored", "path", path, "line", i+2)
+				break
 			}
 			if e.Report == nil {
 				continue

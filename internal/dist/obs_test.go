@@ -1,0 +1,385 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sfi/internal/core"
+	"sfi/internal/obs"
+)
+
+// TestLoopbackSnapshotEquivalence is the fleet-observability acceptance
+// test: after a 4-worker distributed campaign, the coordinator's merged
+// fleet snapshot must be counter-exactly equal to the same-seed
+// single-process campaign's snapshot — injections, restores, cycles,
+// outcome mix, per-unit and per-type breakdowns, and histogram counts.
+// (Latency values and BusyNs are timing-dependent and excluded.)
+func TestLoopbackSnapshotEquivalence(t *testing.T) {
+	spec := testSpec()
+	c, srv := startCoord(t, CoordConfig{
+		Campaign:  spec,
+		ShardSize: 12,
+		// Short TTL so shards outlive several heartbeats and the fleet view
+		// really is built from piggybacked deltas plus sealed finals.
+		LeaseTTL: 300 * time.Millisecond,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	workerErr := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			workerErr <- RunWorker(ctx, WorkerConfig{
+				Coordinator: srv.URL,
+				ID:          fmt.Sprintf("w%d", i),
+				PollEvery:   20 * time.Millisecond,
+			})
+		}(i)
+	}
+	got, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-workerErr; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	if got.Metrics == nil {
+		t.Fatal("merged distributed report has no metrics snapshot")
+	}
+
+	ccfg, err := spec.CampaignConfig(core.ShardRange{Lo: 0, Hi: spec.Flips})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg.Workers = 2
+	ccfg.Obs.Metrics = true
+	want, err := core.RunCampaign(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertSnapshotCountersEqual(t, "merged report", got.Metrics, want.Metrics)
+	// The converged fleet view (sealed finals for every shard) must show
+	// exactly the same counters — no delta double-counting, nothing lost.
+	assertSnapshotCountersEqual(t, "fleet view", c.FleetSnapshot(), want.Metrics)
+
+	// And the coordinator's status must agree.
+	st := c.Status()
+	if st.Injections != want.Metrics.Injections {
+		t.Errorf("status injections %d, want %d", st.Injections, want.Metrics.Injections)
+	}
+	if st.States["completed"] != st.Shards {
+		t.Errorf("status states %v, want all %d completed", st.States, st.Shards)
+	}
+}
+
+// assertSnapshotCountersEqual compares the deterministic counters of two
+// snapshots: everything except wall-time-valued fields (BusyNs, the
+// latency histograms' bucket shapes) which legitimately differ between
+// runs.
+func assertSnapshotCountersEqual(t *testing.T, label string, got, want *obs.Snapshot) {
+	t.Helper()
+	if got.Injections != want.Injections || got.Restores != want.Restores || got.Cycles != want.Cycles {
+		t.Errorf("%s: injections/restores/cycles %d/%d/%d, want %d/%d/%d", label,
+			got.Injections, got.Restores, got.Cycles,
+			want.Injections, want.Restores, want.Cycles)
+	}
+	if !reflect.DeepEqual(got.Outcomes, want.Outcomes) {
+		t.Errorf("%s: outcome mix %v, want %v", label, got.Outcomes, want.Outcomes)
+	}
+	if !reflect.DeepEqual(got.ByUnit, want.ByUnit) {
+		t.Errorf("%s: per-unit counters differ:\n%v\n%v", label, got.ByUnit, want.ByUnit)
+	}
+	if !reflect.DeepEqual(got.ByType, want.ByType) {
+		t.Errorf("%s: per-type counters differ:\n%v\n%v", label, got.ByType, want.ByType)
+	}
+	// Cycle-valued histograms are deterministic in full; latency histograms
+	// only in their observation counts.
+	if !reflect.DeepEqual(got.PropagateCycles, want.PropagateCycles) {
+		t.Errorf("%s: propagate-cycles histogram differs", label)
+	}
+	if !reflect.DeepEqual(got.DetectCycles, want.DetectCycles) {
+		t.Errorf("%s: detect-cycles histogram differs", label)
+	}
+	if got.InjectionNs.Count != want.InjectionNs.Count {
+		t.Errorf("%s: injection latency count %d, want %d", label,
+			got.InjectionNs.Count, want.InjectionNs.Count)
+	}
+	if got.RestoreNs.Count != want.RestoreNs.Count {
+		t.Errorf("%s: restore latency count %d, want %d", label,
+			got.RestoreNs.Count, want.RestoreNs.Count)
+	}
+}
+
+// shardTraceEvents decodes the shard-trace JSONL buffer into per-kind
+// event lists.
+func shardTraceEvents(t *testing.T, data []byte) map[string][]obs.ShardEvent {
+	t.Helper()
+	byKind := make(map[string][]obs.ShardEvent)
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for {
+		var ev obs.ShardEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("shard trace decode: %v", err)
+		}
+		if ev.Kind != "" {
+			byKind[ev.Kind] = append(byKind[ev.Kind], ev)
+		}
+	}
+	return byKind
+}
+
+// TestDeadWorkerRequeueTraced: when a worker leases a shard and dies, the
+// shard trace must record the full forensic sequence — the zombie's lease
+// grant, the expiry, the requeue with its attempt count, and the
+// surviving worker's completion with a latency.
+func TestDeadWorkerRequeueTraced(t *testing.T) {
+	var traceBuf syncBuffer
+	sink := obs.NewTraceSink(&traceBuf, obs.TraceOptions{})
+
+	spec := testSpec()
+	spec.Flips = 24
+	c, srv := startCoord(t, CoordConfig{
+		Campaign:   spec,
+		ShardSize:  12,
+		LeaseTTL:   300 * time.Millisecond,
+		ShardTrace: sink,
+	})
+
+	var zl leaseResponse
+	if s := rawPost(t, srv.URL+"/v1/lease", leaseRequest{Worker: "zombie"}, &zl); s != http.StatusOK {
+		t.Fatalf("zombie lease: status %d", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(ctx, WorkerConfig{
+			Coordinator: srv.URL, ID: "survivor", PollEvery: 20 * time.Millisecond,
+		})
+	}()
+	if _, err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+
+	events := shardTraceEvents(t, traceBuf.bytes())
+	var zombieLease bool
+	for _, ev := range events["lease"] {
+		if ev.Shard == zl.Shard.ID && ev.Worker == "zombie" {
+			zombieLease = true
+		}
+	}
+	if !zombieLease {
+		t.Errorf("no lease event for the zombie's grant of shard %d", zl.Shard.ID)
+	}
+	if len(events["expired"]) == 0 {
+		t.Error("no expired event for the abandoned lease")
+	}
+	requeued := false
+	for _, ev := range events["requeued"] {
+		if ev.Shard == zl.Shard.ID && ev.Attempt >= 1 {
+			requeued = true
+		}
+	}
+	if !requeued {
+		t.Errorf("no requeued event with attempt count for shard %d; got %+v",
+			zl.Shard.ID, events["requeued"])
+	}
+	if len(events["completed"]) != 2 {
+		t.Errorf("completed events: %d, want 2 (one per shard)", len(events["completed"]))
+	}
+	for _, ev := range events["completed"] {
+		if ev.Worker != "survivor" {
+			t.Errorf("shard %d completed by %q, want survivor", ev.Shard, ev.Worker)
+		}
+		if ev.LatencyMs < 0 {
+			t.Errorf("shard %d completion latency %dms < 0", ev.Shard, ev.LatencyMs)
+		}
+	}
+	// The requeue discarded the zombie's (empty) live contribution: the
+	// converged fleet view counts every injection exactly once.
+	if snap := c.FleetSnapshot(); snap.Injections != uint64(spec.Flips) {
+		t.Errorf("fleet injections %d, want %d", snap.Injections, spec.Flips)
+	}
+}
+
+// syncBuffer is an io.Writer usable from the coordinator's handler
+// goroutines and read by the test after Wait.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// bytes returns the accumulated contents.
+func (b *syncBuffer) bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return bytes.Clone(b.buf.Bytes())
+}
+
+// TestHeartbeatDeltaAggregation drives the wire protocol by hand: fleet
+// status and /metrics must reflect fabricated heartbeat deltas while the
+// shard is in flight, and completion must replace them with the exact
+// final snapshot (no double counting).
+func TestHeartbeatDeltaAggregation(t *testing.T) {
+	spec := testSpec()
+	spec.Flips = 20
+	c, srv := startCoord(t, CoordConfig{Campaign: spec, ShardSize: 10})
+
+	var l leaseResponse
+	if s := rawPost(t, srv.URL+"/v1/lease", leaseRequest{Worker: "w"}, &l); s != http.StatusOK {
+		t.Fatalf("lease: status %d", s)
+	}
+
+	delta := obs.NewSnapshot()
+	delta.Injections = 4
+	delta.Restores = 4
+	delta.Outcomes["vanished"] = 4
+	if s := rawPost(t, srv.URL+"/v1/heartbeat",
+		heartbeatRequest{Worker: "w", Shard: l.Shard.ID, Delta: delta}, nil); s != http.StatusOK {
+		t.Fatalf("heartbeat: status %d", s)
+	}
+
+	st := c.Status()
+	if st.Injections != 4 {
+		t.Fatalf("live injections %d, want 4 from the heartbeat delta", st.Injections)
+	}
+	if st.States["heartbeating"] != 1 || st.States["queued"] != 1 {
+		t.Fatalf("states %v, want 1 heartbeating + 1 queued", st.States)
+	}
+	sv := st.ShardsV[l.Shard.ID]
+	if sv.State != "heartbeating" || sv.LiveInjections != 4 || sv.Worker != "w" {
+		t.Fatalf("shard view %+v, want heartbeating with 4 live injections by w", sv)
+	}
+	if w := st.Workers["w"]; w.Injections != 4 {
+		t.Fatalf("worker view %+v, want 4 injections", w)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"sfi_injections_total 4",
+		`sfi_outcome_total{outcome="vanished"} 4`,
+		`sfi_coord_shards{state="leased"} 1`,
+		"sfi_coord_lease_grants_total 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Complete the shard with a final snapshot larger than the delta sum:
+	// sealing must replace the live deltas, not add to them.
+	final := obs.NewSnapshot()
+	final.Injections = 10
+	final.Restores = 10
+	final.Outcomes["vanished"] = 9
+	final.Outcomes["corrected"] = 1
+	wire := fakeWire(10)
+	wire.Metrics = final
+	if s := rawPost(t, srv.URL+"/v1/complete",
+		completeRequest{Worker: "w", Shard: l.Shard.ID, Report: wire}, nil); s != http.StatusOK {
+		t.Fatalf("complete: status %d", s)
+	}
+	snap := c.FleetSnapshot()
+	if snap.Injections != 10 {
+		t.Fatalf("fleet injections after seal: %d, want exactly 10 (no delta double count)", snap.Injections)
+	}
+	if snap.Outcomes["vanished"] != 9 || snap.Outcomes["corrected"] != 1 {
+		t.Fatalf("fleet outcomes after seal: %v, want vanished 9 corrected 1", snap.Outcomes)
+	}
+	st = c.Status()
+	if w := st.Workers["w"]; w.Injections != 10 || w.ShardsDone != 1 {
+		t.Fatalf("worker view after complete %+v, want 10 injections, 1 shard done", w)
+	}
+}
+
+// TestCompleteAttachesTrace: injection-trace lines a worker attaches to a
+// completion must land in the coordinator's shard trace wrapped with
+// shard/worker provenance.
+func TestCompleteAttachesTrace(t *testing.T) {
+	var traceBuf syncBuffer
+	sink := obs.NewTraceSink(&traceBuf, obs.TraceOptions{})
+
+	spec := testSpec()
+	spec.Flips = 10
+	c, srv := startCoord(t, CoordConfig{Campaign: spec, ShardSize: 10, ShardTrace: sink})
+
+	var l leaseResponse
+	if s := rawPost(t, srv.URL+"/v1/lease", leaseRequest{Worker: "w"}, &l); s != http.StatusOK {
+		t.Fatalf("lease: status %d", s)
+	}
+	if s := rawPost(t, srv.URL+"/v1/complete", completeRequest{
+		Worker: "w", Shard: l.Shard.ID, Report: fakeWire(10),
+		Trace: []json.RawMessage{
+			json.RawMessage(`{"seq":0,"bit":42,"outcome":"vanished"}`),
+			json.RawMessage(`{"seq":5,"bit":77,"outcome":"sdc"}`),
+		},
+	}, nil); s != http.StatusOK {
+		t.Fatalf("complete: status %d", s)
+	}
+	if _, err := c.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var attached []attachedTrace
+	dec := json.NewDecoder(bytes.NewReader(traceBuf.bytes()))
+	for {
+		var raw map[string]json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := raw["injection"]; !ok {
+			continue // a shard lifecycle event
+		}
+		var at attachedTrace
+		data, _ := json.Marshal(raw)
+		if err := json.Unmarshal(data, &at); err != nil {
+			t.Fatal(err)
+		}
+		attached = append(attached, at)
+	}
+	if len(attached) != 2 {
+		t.Fatalf("attached trace lines in shard trace: %d, want 2", len(attached))
+	}
+	for _, at := range attached {
+		if at.Shard != l.Shard.ID || at.Worker != "w" {
+			t.Errorf("attached line provenance %+v, want shard %d worker w", at, l.Shard.ID)
+		}
+	}
+	var ev struct {
+		Bit int `json:"bit"`
+	}
+	if err := json.Unmarshal(attached[0].Injection, &ev); err != nil || ev.Bit != 42 {
+		t.Errorf("first attached injection = %s, want bit 42 (err %v)", attached[0].Injection, err)
+	}
+}

@@ -12,6 +12,7 @@
 package dist
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"sfi/internal/core"
@@ -212,7 +213,7 @@ type ShardLease struct {
 // 200 OK, 204 no work available right now, 410 campaign over (done or
 // failed), 409 lease not held.
 type (
-	leaseRequest  struct {
+	leaseRequest struct {
 		Worker string `json:"worker"`
 	}
 	leaseResponse struct {
@@ -223,6 +224,13 @@ type (
 	heartbeatRequest struct {
 		Worker string `json:"worker"`
 		Shard  int    `json:"shard"`
+		// Delta is the piggybacked metrics increment since the worker's
+		// previous heartbeat for this shard (obs.Snapshot.Sub of successive
+		// cumulative snapshots; nil when the worker has nothing new or runs
+		// with observability off). The coordinator accumulates deltas into
+		// its live fleet view; the shard's completion report replaces them
+		// with the exact final snapshot.
+		Delta *obs.Snapshot `json:"delta,omitempty"`
 	}
 	heartbeatResponse struct {
 		TTLMs int64 `json:"ttl_ms"`
@@ -231,6 +239,10 @@ type (
 		Worker string      `json:"worker"`
 		Shard  int         `json:"shard"`
 		Report *WireReport `json:"report"`
+		// Trace is a bounded, sampled segment of the shard's injection
+		// trace (JSONL lines as emitted by obs.TraceSink), forwarded into
+		// the coordinator's shard trace for post-hoc forensics.
+		Trace []json.RawMessage `json:"trace,omitempty"`
 	}
 	failRequest struct {
 		Worker string `json:"worker"`

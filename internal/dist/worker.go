@@ -6,12 +6,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"reflect"
+	"sync/atomic"
 	"time"
 
 	"sfi/internal/core"
+	"sfi/internal/obs"
 )
 
 // WorkerConfig parameterizes one campaign worker process.
@@ -34,8 +38,36 @@ type WorkerConfig struct {
 	// Client is the HTTP client ( nil = a default with a 30s timeout).
 	Client *http.Client
 
-	// Logf receives worker lifecycle logs (nil = silent).
-	Logf func(format string, args ...any)
+	// Log receives structured worker lifecycle events with worker/shard
+	// attributes (nil = silent).
+	Log *slog.Logger
+
+	// TraceW, when non-nil, receives the worker's own injection trace as
+	// JSONL (subject to TraceSample), exactly as a local campaign's -trace
+	// output.
+	TraceW io.Writer
+
+	// TraceSample records every TraceSample-th injection event to TraceW
+	// (0 and 1 both mean every event).
+	TraceSample int
+
+	// TraceAttach bounds the sampled injection-trace lines attached to
+	// each shard completion and forwarded into the coordinator's shard
+	// trace (default 32; negative disables attachment). When TraceW is
+	// nil, the worker samples just enough events to fill the attachment
+	// instead of tracing every injection.
+	TraceAttach int
+
+	// OnProgress, when non-nil, receives periodic progress of the shard
+	// this worker is currently executing — the hook worker-local debug
+	// endpoints hang off.
+	OnProgress func(ShardLease, core.Progress)
+
+	// NoObs runs shards without metrics collection or heartbeat metric
+	// deltas. The coordinator's fleet view then only counts completed
+	// shards (by Report totals). Exists for the overhead benchmark; fleet
+	// runs leave it false.
+	NoObs bool
 }
 
 // Worker leases shards from a coordinator and executes them. The
@@ -45,7 +77,9 @@ type WorkerConfig struct {
 // (and every concurrent model copy, via the usual warm-clone pool) reuses
 // it.
 type worker struct {
-	cfg   WorkerConfig
+	cfg WorkerConfig
+	log *slog.Logger
+
 	proto *core.Runner
 	// protoCfg is the runner spec the prototype was built from; a spec
 	// change (new campaign on a reused worker) forces a rebuild.
@@ -66,22 +100,25 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Log == nil {
+		cfg.Log = obs.NopLogger()
 	}
-	w := &worker{cfg: cfg}
+	if cfg.TraceAttach == 0 {
+		cfg.TraceAttach = 32
+	}
+	w := &worker{cfg: cfg, log: cfg.Log.With("worker", cfg.ID)}
 	for {
 		lease, status, err := w.lease(ctx)
 		switch {
 		case err != nil:
 			// Coordinator unreachable (it may be restarting): back off and
 			// re-poll; ctx bounds the wait.
-			w.cfg.Logf("worker %s: lease: %v", cfg.ID, err)
+			w.log.Warn("lease poll failed", "err", err)
 			if !sleep(ctx, cfg.PollEvery) {
 				return context.Cause(ctx)
 			}
 		case status == http.StatusGone:
-			w.cfg.Logf("worker %s: campaign over", cfg.ID)
+			w.log.Info("campaign over")
 			return nil
 		case status == http.StatusNoContent:
 			if !sleep(ctx, cfg.PollEvery) {
@@ -100,15 +137,78 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 }
 
-// runShard executes one leased shard: heartbeats in the background, runs
-// the shard campaign against the (reused) prototype, and reports the
-// result. Losing the lease cancels the shard promptly and returns nil —
+// lineCapture buffers up to max JSONL lines written through it — the
+// shard-completion trace attachment. Each TraceSink write is exactly one
+// line and the sink serializes writes, so no extra locking is needed; the
+// captured lines are read only after the shard campaign returns.
+type lineCapture struct {
+	max   int
+	lines []json.RawMessage
+}
+
+func (lc *lineCapture) Write(p []byte) (int, error) {
+	if len(lc.lines) < lc.max {
+		line := bytes.TrimRight(p, "\n")
+		lc.lines = append(lc.lines, json.RawMessage(bytes.Clone(line)))
+	}
+	return len(p), nil
+}
+
+// shardObs wires a shard's observability: metrics collection, the live
+// snapshot the heartbeat loop reads deltas from, the OnProgress hook, and
+// the injection trace (local writer and/or bounded completion
+// attachment).
+func (w *worker) shardObs(ccfg *core.CampaignConfig, sh ShardLease, ttl time.Duration, live *atomic.Pointer[obs.Snapshot]) *lineCapture {
+	if w.cfg.NoObs {
+		return nil
+	}
+	// Shard reports always carry metrics: the coordinator's /metrics view
+	// converges on the merge of them, and the measured overhead is <5%.
+	ccfg.Obs.Metrics = true
+	// Refresh the live snapshot about twice per heartbeat so piggybacked
+	// deltas stay current without per-injection merging.
+	ccfg.Obs.ProgressEvery = ttl / 6
+	ccfg.Obs.Progress = func(p core.Progress) {
+		live.Store(p.Metrics)
+		if w.cfg.OnProgress != nil {
+			w.cfg.OnProgress(sh, p)
+		}
+	}
+
+	var capture *lineCapture
+	var tw io.Writer
+	sample := w.cfg.TraceSample
+	if w.cfg.TraceAttach > 0 {
+		capture = &lineCapture{max: w.cfg.TraceAttach}
+		tw = capture
+		if w.cfg.TraceW != nil {
+			tw = io.MultiWriter(w.cfg.TraceW, capture)
+		} else if shardSize := sh.Hi - sh.Lo; sample <= 1 && shardSize > w.cfg.TraceAttach {
+			// Attachment-only tracing: stride the samples across the shard
+			// instead of marshalling every injection just to keep the
+			// first 32.
+			sample = shardSize / w.cfg.TraceAttach
+		}
+	} else if w.cfg.TraceW != nil {
+		tw = w.cfg.TraceW
+	}
+	if tw != nil {
+		ccfg.Obs.Trace = obs.NewTraceSink(tw, obs.TraceOptions{Sample: sample})
+	}
+	return capture
+}
+
+// runShard executes one leased shard: heartbeats in the background
+// (piggybacking metric deltas), runs the shard campaign against the
+// (reused) prototype, and reports the result with a sampled trace segment
+// attached. Losing the lease cancels the shard promptly and returns nil —
 // the shard is someone else's now. A shard execution error is handed back
 // with /v1/fail so the coordinator can re-queue without waiting for the
 // lease to expire.
 func (w *worker) runShard(ctx context.Context, lease *leaseResponse) error {
 	id, sh := w.cfg.ID, lease.Shard
-	w.cfg.Logf("worker %s: shard %d [%d,%d)", id, sh.ID, sh.Lo, sh.Hi)
+	log := w.log.With("shard", sh.ID)
+	log.Info("shard leased", "lo", sh.Lo, "hi", sh.Hi)
 
 	ccfg, err := lease.Campaign.CampaignConfig(core.ShardRange{Lo: sh.Lo, Hi: sh.Hi})
 	if err != nil {
@@ -118,33 +218,48 @@ func (w *worker) runShard(ctx context.Context, lease *leaseResponse) error {
 	if w.cfg.Workers > 0 {
 		ccfg.Workers = w.cfg.Workers
 	}
-	// Shard reports always carry metrics: the coordinator's /metrics view
-	// is the merge of them, and the measured overhead is <5%.
-	ccfg.Obs.Metrics = true
+	ttl := time.Duration(lease.TTLMs) * time.Millisecond
+
+	// live is the shard's latest cumulative metrics snapshot, refreshed by
+	// the campaign's progress goroutine and read by the heartbeat loop.
+	var live atomic.Pointer[obs.Snapshot]
+	capture := w.shardObs(&ccfg, sh, ttl, &live)
 
 	// Heartbeat from lease grant until the shard finishes, covering the
 	// (expensive, once-per-process) prototype build below as well as the
 	// run itself; a refused heartbeat (lease lost, campaign over) cancels
-	// the in-flight shard.
+	// the in-flight shard. Each heartbeat carries the metrics delta since
+	// the last acknowledged one, building the coordinator's live fleet
+	// view.
 	shardCtx, cancel := context.WithCancelCause(ctx)
 	hbDone := make(chan struct{})
 	go func() {
 		defer close(hbDone)
-		ttl := time.Duration(lease.TTLMs) * time.Millisecond
 		t := time.NewTicker(ttl / 3)
 		defer t.Stop()
+		var lastSent *obs.Snapshot
 		for {
 			select {
 			case <-shardCtx.Done():
 				return
 			case <-t.C:
-				status, err := w.post("/v1/heartbeat", heartbeatRequest{Worker: id, Shard: sh.ID}, nil)
+				hb := heartbeatRequest{Worker: id, Shard: sh.ID}
+				cur := live.Load()
+				if cur != nil {
+					if d := cur.Sub(lastSent); !d.Empty() {
+						hb.Delta = d
+					}
+				}
+				status, err := w.post("/v1/heartbeat", hb, nil)
 				if err != nil {
 					continue // transient; the lease survives until TTL
 				}
 				if status != http.StatusOK {
 					cancel(errLeaseLost)
 					return
+				}
+				if cur != nil {
+					lastSent = cur
 				}
 			}
 		}
@@ -161,15 +276,18 @@ func (w *worker) runShard(ctx context.Context, lease *leaseResponse) error {
 		w.proto, w.protoCfg = proto, ccfg.Runner
 	}
 
+	start := time.Now()
 	rep, runErr := core.RunCampaignWith(shardCtx, w.proto, ccfg)
 	cancel(nil)
 	<-hbDone
 
 	switch {
 	case runErr == nil:
-		return w.complete(sh.ID, rep)
+		log.Info("shard complete", "injections", rep.Total,
+			"elapsed", time.Since(start).Round(time.Millisecond))
+		return w.complete(sh.ID, rep, capture)
 	case errors.Is(context.Cause(shardCtx), errLeaseLost):
-		w.cfg.Logf("worker %s: shard %d lease lost, abandoning", id, sh.ID)
+		log.Warn("lease lost, abandoning shard")
 		return nil
 	case ctx.Err() != nil:
 		return context.Cause(ctx)
@@ -184,8 +302,11 @@ var errLeaseLost = errors.New("dist: shard lease lost")
 // complete delivers a shard report, retrying transient transport errors —
 // completion is idempotent on the coordinator, so re-sending after a lost
 // response is safe.
-func (w *worker) complete(shardID int, rep *core.Report) error {
+func (w *worker) complete(shardID int, rep *core.Report, capture *lineCapture) error {
 	req := completeRequest{Worker: w.cfg.ID, Shard: shardID, Report: EncodeReport(rep)}
+	if capture != nil {
+		req.Trace = capture.lines
+	}
 	var lastErr error
 	for attempt := 0; attempt < 5; attempt++ {
 		status, err := w.post("/v1/complete", req, nil)

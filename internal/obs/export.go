@@ -62,25 +62,48 @@ func (s *Snapshot) WritePrometheus(w io.Writer, prefix string) error {
 	labelled("unit_outcome_total", "unit", s.ByUnit)
 	labelled("latchtype_outcome_total", "type", s.ByType)
 
-	hist := func(name string, h HistSnapshot) {
-		p("# TYPE %s_%s histogram\n", prefix, name)
-		cum := uint64(0)
-		for i, n := range h.Buckets {
-			if n == 0 {
-				continue
-			}
-			cum += n
-			_, hi := bucketBounds(i)
-			p("%s_%s_bucket{le=\"%d\"} %d\n", prefix, name, hi, cum)
-		}
-		p("%s_%s_bucket{le=\"+Inf\"} %d\n", prefix, name, h.Count)
-		p("%s_%s_sum %d\n", prefix, name, h.Sum)
-		p("%s_%s_count %d\n", prefix, name, h.Count)
+	hists := []struct {
+		name string
+		h    HistSnapshot
+	}{
+		{"injection_ns", s.InjectionNs},
+		{"restore_ns", s.RestoreNs},
+		{"propagate_cycles", s.PropagateCycles},
+		{"detect_cycles", s.DetectCycles},
 	}
-	hist("injection_ns", s.InjectionNs)
-	hist("restore_ns", s.RestoreNs)
-	hist("propagate_cycles", s.PropagateCycles)
-	hist("detect_cycles", s.DetectCycles)
+	for _, h := range hists {
+		if err == nil {
+			err = WriteHistPrometheus(w, prefix, h.name, h.h)
+		}
+	}
+	return err
+}
+
+// WriteHistPrometheus renders one histogram snapshot in the Prometheus
+// text format as prefix_name, with cumulative le buckets on the log2
+// bucket upper bounds. Exported so components with histograms outside a
+// Snapshot (e.g. the distributed coordinator's shard-latency histograms)
+// share the exposition path.
+func WriteHistPrometheus(w io.Writer, prefix, name string, h HistSnapshot) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# TYPE %s_%s histogram\n", prefix, name)
+	cum := uint64(0)
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		_, hi := bucketBounds(i)
+		p("%s_%s_bucket{le=\"%d\"} %d\n", prefix, name, hi, cum)
+	}
+	p("%s_%s_bucket{le=\"+Inf\"} %d\n", prefix, name, h.Count)
+	p("%s_%s_sum %d\n", prefix, name, h.Sum)
+	p("%s_%s_count %d\n", prefix, name, h.Count)
 	return err
 }
 

@@ -233,3 +233,64 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	s.PropagateCycles.Merge(o.PropagateCycles)
 	s.DetectCycles.Merge(o.DetectCycles)
 }
+
+// Clone returns an independent deep copy of the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	c := NewSnapshot()
+	c.Merge(s)
+	return c
+}
+
+// Sub returns this snapshot minus prev, an earlier snapshot of the same
+// (monotonically growing) collector — the wire delta a distributed worker
+// piggybacks on heartbeats. Accumulating every delta from one collector
+// reproduces its cumulative snapshot exactly: for any counter,
+// sum(delta_i) = final - initial. prev may be nil (the delta is then the
+// whole snapshot). Counters that shrank (mismatched snapshots) clamp to
+// zero; zero-valued map entries are omitted from the delta.
+func (s *Snapshot) Sub(prev *Snapshot) *Snapshot {
+	d := NewSnapshot()
+	if s == nil {
+		return d
+	}
+	if prev == nil {
+		prev = NewSnapshot()
+	}
+	d.Injections = sub64(s.Injections, prev.Injections)
+	d.Restores = sub64(s.Restores, prev.Restores)
+	d.Cycles = sub64(s.Cycles, prev.Cycles)
+	d.BusyNs = sub64(s.BusyNs, prev.BusyNs)
+	subCounts := func(cur, old map[string]uint64) map[string]uint64 {
+		out := make(map[string]uint64)
+		for k, v := range cur {
+			if dv := sub64(v, old[k]); dv > 0 {
+				out[k] = dv
+			}
+		}
+		return out
+	}
+	d.Outcomes = subCounts(s.Outcomes, prev.Outcomes)
+	subVecs := func(cur, old map[string]map[string]uint64, dst map[string]map[string]uint64) {
+		for k, row := range cur {
+			if drow := subCounts(row, old[k]); len(drow) > 0 {
+				dst[k] = drow
+			}
+		}
+	}
+	subVecs(s.ByUnit, prev.ByUnit, d.ByUnit)
+	subVecs(s.ByType, prev.ByType, d.ByType)
+	d.InjectionNs = s.InjectionNs.Sub(prev.InjectionNs)
+	d.RestoreNs = s.RestoreNs.Sub(prev.RestoreNs)
+	d.PropagateCycles = s.PropagateCycles.Sub(prev.PropagateCycles)
+	d.DetectCycles = s.DetectCycles.Sub(prev.DetectCycles)
+	return d
+}
+
+// Empty reports whether the snapshot carries no observations at all (the
+// delta of an idle interval).
+func (s *Snapshot) Empty() bool {
+	return s == nil || (s.Injections == 0 && s.Restores == 0 && s.Cycles == 0 &&
+		s.BusyNs == 0 && len(s.Outcomes) == 0 && len(s.ByUnit) == 0 && len(s.ByType) == 0 &&
+		s.InjectionNs.Count == 0 && s.RestoreNs.Count == 0 &&
+		s.PropagateCycles.Count == 0 && s.DetectCycles.Count == 0)
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -294,5 +295,167 @@ func TestSnapshotMergeEmpty(t *testing.T) {
 	s.Merge(m.Snapshot())
 	if s.Outcomes["vanished"] != 1 {
 		t.Error("merge into empty snapshot lost counts")
+	}
+}
+
+// fillSnapshot builds a snapshot with n injections' worth of every
+// counter family, offset by base so successive calls differ.
+func fillSnapshot(n int, base uint64) *Snapshot {
+	m := New([]string{"vanished", "corrected", "hang", "checkstop", "sdc"})
+	for i := 0; i < n; i++ {
+		m.ObserveInjection(base + uint64(i))
+		m.ObserveRestore(base + uint64(i)/2)
+		m.ObserveRun(100 + base + uint64(i))
+		m.IncOutcome(0, "FXU", "FUNC")
+		if i%2 == 0 {
+			m.IncOutcome(4, "LSU", "REGFILE")
+			m.ObserveDetect(7 + base)
+		}
+	}
+	return m.Snapshot()
+}
+
+func TestSnapshotSubDelta(t *testing.T) {
+	prev := fillSnapshot(3, 10)
+	cur := prev.Clone()
+	cur.Merge(fillSnapshot(5, 50))
+
+	d := cur.Sub(prev)
+	// Delta plus prev must reproduce cur exactly: Sub is the inverse of
+	// Merge for monotone counters.
+	back := prev.Clone()
+	back.Merge(d)
+	if !reflect.DeepEqual(back, cur) {
+		t.Fatalf("prev + (cur - prev) != cur:\n%+v\n%+v", back, cur)
+	}
+	// Subtracting from itself leaves nothing.
+	if z := cur.Sub(cur); !z.Empty() {
+		t.Fatalf("cur - cur not empty: %+v", z)
+	}
+	// nil prev means "everything is new".
+	if all := cur.Sub(nil); !reflect.DeepEqual(all, cur.Clone()) {
+		t.Fatalf("cur - nil != cur")
+	}
+	// Zero-valued map entries are omitted so deltas marshal small.
+	if _, ok := d.Outcomes["hang"]; ok {
+		t.Error("delta carries a zero outcome entry")
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	if !NewSnapshot().Empty() {
+		t.Error("fresh snapshot not Empty")
+	}
+	s := NewSnapshot()
+	s.Outcomes["vanished"] = 1
+	if s.Empty() {
+		t.Error("snapshot with an outcome reported Empty")
+	}
+}
+
+// TestFleetSealExactness is the no-double-count property the live fleet
+// view depends on: accumulate deltas for a source, then seal it with the
+// exact final snapshot — the fleet total must equal the finals alone, with
+// the deltas fully replaced.
+func TestFleetSealExactness(t *testing.T) {
+	f := NewFleet()
+
+	// Source A: two deltas, then a final that (as in real shards) covers
+	// slightly more than the deltas reported.
+	f.Observe("a", fillSnapshot(2, 5))
+	f.Observe("a", fillSnapshot(3, 9))
+	if got := f.Snapshot().Injections; got != 5 {
+		t.Fatalf("live fleet injections %d, want 5", got)
+	}
+	finalA := fillSnapshot(7, 5)
+	f.Seal("a", finalA)
+
+	// Source B: sealed with no deltas ever observed (shard completed
+	// between heartbeats).
+	finalB := fillSnapshot(4, 100)
+	f.Seal("b", finalB)
+
+	want := finalA.Clone()
+	want.Merge(finalB)
+	if got := f.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sealed fleet view differs from merged finals:\n%+v\n%+v", got, want)
+	}
+
+	// Seal with nil final keeps the accumulated deltas (a source whose
+	// exact total never arrives still counts what it reported).
+	f.Observe("c", fillSnapshot(2, 40))
+	f.Seal("c", nil)
+	want.Merge(fillSnapshot(2, 40))
+	if got := f.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("nil-final seal dropped the live deltas:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestFleetDiscard(t *testing.T) {
+	f := NewFleet()
+	f.Observe("a", fillSnapshot(3, 5))
+	f.Observe("b", fillSnapshot(2, 9))
+	f.Discard("a")
+	if got, want := f.Snapshot().Injections, uint64(2); got != want {
+		t.Fatalf("after discard: %d injections, want %d", got, want)
+	}
+	// Discarding an unknown source is a no-op, as is everything on a nil
+	// fleet.
+	f.Discard("ghost")
+	var nilFleet *Fleet
+	nilFleet.Observe("x", fillSnapshot(1, 1))
+	nilFleet.Seal("x", nil)
+	nilFleet.Discard("x")
+	if s := nilFleet.Snapshot(); s == nil || !s.Empty() {
+		t.Fatalf("nil fleet snapshot = %+v, want empty", s)
+	}
+}
+
+func TestFleetSourceIsolation(t *testing.T) {
+	f := NewFleet()
+	f.Observe("a", fillSnapshot(3, 5))
+	// Source returns a copy: mutating it must not corrupt the fleet.
+	src := f.Source("a")
+	if src == nil || src.Injections != 3 {
+		t.Fatalf("Source(a) = %+v, want 3 injections", src)
+	}
+	src.Injections = 999
+	if got := f.Snapshot().Injections; got != 3 {
+		t.Fatalf("fleet corrupted through Source copy: %d injections", got)
+	}
+	if f.Source("ghost") != nil {
+		t.Error("Source of unknown key not nil")
+	}
+}
+
+// TestShardEventJSONL: shard lifecycle events and raw JSON lines share
+// the sink with sampled injection events but bypass sampling and budget.
+func TestShardEventJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	// Sample 1000 + Max 1: injection events are throttled hard...
+	sink := NewTraceSink(&buf, TraceOptions{Sample: 1000, Max: 1})
+	sink.Record(&TraceEvent{Bit: 1, Outcome: "vanished"})
+	sink.Record(&TraceEvent{Bit: 2, Outcome: "vanished"}) // sampled out
+	// ...but lifecycle events always land.
+	for i := 0; i < 3; i++ {
+		sink.RecordShard(&ShardEvent{Kind: "lease", Shard: i, Worker: "w", Attempt: 1})
+	}
+	sink.RecordJSON(map[string]any{"custom": true})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("sink wrote %d lines, want 5 (1 injection + 3 shard + 1 raw)", len(lines))
+	}
+	var ev ShardEvent
+	if err := json.Unmarshal([]byte(lines[2]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "lease" || ev.Shard != 1 || ev.Worker != "w" {
+		t.Fatalf("shard event line = %+v", ev)
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("invalid JSONL line: %s", line)
+		}
 	}
 }

@@ -12,16 +12,16 @@ import (
 // with their latencies, cycle counts and the FIR bits observed at the end.
 // Events serialize as one JSON object per line (JSONL).
 type TraceEvent struct {
-	Seq int64 `json:"seq"`     // sink-assigned event ordinal (0-based)
-	TS  int64 `json:"ts_ns"`   // injection start, unix nanoseconds
+	Seq int64 `json:"seq"`   // sink-assigned event ordinal (0-based)
+	TS  int64 `json:"ts_ns"` // injection start, unix nanoseconds
 
 	// Sample phase: where the flip landed.
-	Bit        int    `json:"bit"`
-	Group      string `json:"group"`
-	Unit       string `json:"unit"`
-	LatchType  string `json:"latch_type"`
-	Checkpoint int    `json:"checkpoint"`   // phased-checkpoint index restored
-	DelayCycles int   `json:"delay_cycles"` // sub-testcase phase jitter applied
+	Bit         int    `json:"bit"`
+	Group       string `json:"group"`
+	Unit        string `json:"unit"`
+	LatchType   string `json:"latch_type"`
+	Checkpoint  int    `json:"checkpoint"`   // phased-checkpoint index restored
+	DelayCycles int    `json:"delay_cycles"` // sub-testcase phase jitter applied
 
 	// Restore and propagate phase latencies.
 	RestoreNs   int64  `json:"restore_ns"`
@@ -84,7 +84,49 @@ func (s *TraceSink) Record(ev *TraceEvent) {
 		s.dropped.Add(1)
 		return
 	}
-	data, err := json.Marshal(ev)
+	s.writeLine(ev)
+}
+
+// ShardEvent records one shard-lifecycle transition of a distributed
+// campaign — the coordinator-side forensics trail (requeue storms,
+// straggler workers, heartbeat gaps) that makes a fleet run diagnosable
+// after the fact. Kind is one of "lease", "heartbeat_gap", "expired",
+// "requeued", "failed", "completed" or "exhausted".
+type ShardEvent struct {
+	Kind string `json:"shard_event"`
+	TS   int64  `json:"ts_ns"` // event time, unix nanoseconds
+
+	Shard   int    `json:"shard"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+	Worker  string `json:"worker,omitempty"`
+	Attempt int    `json:"attempt,omitempty"` // lease grants so far, 1-based
+
+	GapMs     int64  `json:"gap_ms,omitempty"`     // heartbeat_gap: silence length
+	LatencyMs int64  `json:"latency_ms,omitempty"` // completed: lease grant → completion
+	Detail    string `json:"detail,omitempty"`
+}
+
+// RecordShard writes one shard-lifecycle event. Shard events are rare
+// (a handful per shard) so they bypass the sink's sampling and Max
+// budget; they share the writer, the serialization lock and the latched
+// error with injection events.
+func (s *TraceSink) RecordShard(ev *ShardEvent) {
+	s.RecordJSON(ev)
+}
+
+// RecordJSON writes any marshalable value as one unsampled JSONL line —
+// the escape hatch for event shapes beyond the injection lifecycle (shard
+// events, worker-attached trace segments).
+func (s *TraceSink) RecordJSON(v any) {
+	if s == nil {
+		return
+	}
+	s.writeLine(v)
+}
+
+func (s *TraceSink) writeLine(v any) {
+	data, err := json.Marshal(v)
 	if err != nil { // all field types are marshalable; defensive only
 		s.dropped.Add(1)
 		return

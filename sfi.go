@@ -22,6 +22,7 @@ package sfi
 import (
 	"context"
 	"io"
+	"time"
 
 	"sfi/internal/beam"
 	"sfi/internal/core"
@@ -156,6 +157,14 @@ func NewRunner(cfg RunnerConfig) (*Runner, error) { return core.NewRunner(cfg) }
 // *bufio.Writer for high-rate traces and flush it after the campaign.
 func NewTraceSink(w io.Writer, opts TraceOptions) *TraceSink {
 	return obs.NewTraceSink(w, opts)
+}
+
+// ProgressFrom derives a Progress view (rate, ETA, outcome mix) from a
+// metrics snapshot — the shared derivation behind local campaign progress
+// callbacks and distributed fleet status. Pass workers 0 when the
+// concurrent-copy count is unknown; utilization is then omitted.
+func ProgressFrom(s *MetricsSnapshot, total, workers int, start time.Time) Progress {
+	return core.ProgressFrom(s, total, workers, start)
 }
 
 // PublishMetricsExpvar registers a live metrics view under name in the
