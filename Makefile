@@ -18,12 +18,14 @@ vet:
 
 # The -race pass targets the packages that exercise concurrent model copies
 # and cross-process coordination: internal/core (campaign fan-out over
-# cloned runners), internal/emu, internal/dist (the loopback
-# coordinator+worker integration tests, HTTP leases, fleet aggregation),
-# and internal/obs (concurrent metrics collectors, fleet snapshot merging,
-# trace sinks).
+# cloned runners), internal/engine and its backends (the registry plus the
+# p6lite/awan models that campaign workers clone concurrently),
+# internal/emu, internal/awan (the gate engine cloned per worker),
+# internal/dist (the loopback coordinator+worker integration tests, HTTP
+# leases, fleet aggregation), and internal/obs (concurrent metrics
+# collectors, fleet snapshot merging, trace sinks).
 race:
-	$(GO) test -race ./internal/core ./internal/emu ./internal/dist ./internal/obs
+	$(GO) test -race ./internal/core ./internal/engine/... ./internal/emu ./internal/awan ./internal/dist ./internal/obs
 
 # bench runs every benchmark once for a quick smoke, then has sfi-bench
 # re-measure the headline numbers and emit the machine-readable record.

@@ -4,7 +4,6 @@ import (
 	"io"
 	"testing"
 
-	"sfi/internal/emu"
 	"sfi/internal/obs"
 )
 
@@ -168,7 +167,7 @@ func BenchmarkAblationToggleVsSticky(b *testing.B) {
 			b.Fatal(err)
 		}
 		st := base
-		st.Runner.Mode = emu.Sticky
+		st.Runner.Mode = Sticky
 		st.Runner.StickyCycles = 0
 		stk, err := RunCampaign(st)
 		if err != nil {
@@ -260,7 +259,7 @@ func BenchmarkInjection(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	total := r.Core().DB().TotalBits()
+	total := r.DB().TotalBits()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.RunInjection((i * 7919) % total)
@@ -284,7 +283,7 @@ func BenchmarkInjectionObserved(b *testing.B) {
 	m := obs.New(names)
 	sink := obs.NewTraceSink(io.Discard, obs.TraceOptions{})
 	r.SetObs(m, sink)
-	total := r.Core().DB().TotalBits()
+	total := r.DB().TotalBits()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.RunInjection((i * 7919) % total)

@@ -283,7 +283,7 @@ func measureInjectionPaired(rounds int) (offNs, onNs float64, err error) {
 	}
 	m := obs.New(names)
 	sink := obs.NewTraceSink(io.Discard, obs.TraceOptions{})
-	total := r.Core().DB().TotalBits()
+	total := r.DB().TotalBits()
 
 	const perRound = 100
 	bit := func(i int) int { return (i * 7919) % total }

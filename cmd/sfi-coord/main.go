@@ -18,6 +18,7 @@
 //	sfi-coord -addr :8430 -flips 100000                 # whole-core campaign
 //	sfi-coord -addr :8430 -flips 20000 -unit LSU        # targeted
 //	sfi-coord -addr :8430 -flips 100000 -journal c.jnl  # resumable + shard trace
+//	sfi-coord -addr :8430 -flips 20000 -backend awan    # gate-level fleet
 //
 // Then, on each machine:
 //
@@ -48,6 +49,7 @@ func main() {
 		addr      = flag.String("addr", ":8430", "listen address for the worker/lease API and fleet views")
 		flips     = flag.Int("flips", 10000, "number of latch bits to inject")
 		seed      = flag.Uint64("seed", 1, "sampling seed")
+		backend   = flag.String("backend", "", "engine backend workers inject into (p6lite, awan; empty = p6lite)")
 		unit      = flag.String("unit", "", "target one unit")
 		typ       = flag.String("type", "", "target one latch type")
 		macro     = flag.String("macro", "", "target latch groups by name prefix")
@@ -67,7 +69,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*addr, coordArgs{
-		flips: *flips, seed: *seed, unit: *unit, typ: *typ, macro: *macro,
+		flips: *flips, seed: *seed, backend: *backend, unit: *unit, typ: *typ, macro: *macro,
 		keep: *keep, shardSize: *shardSize, ttl: *ttl, attempts: *attempts,
 		journal: *journal, shardTrace: *shardTr, jsonOut: *jsonOut,
 		progress: *progress, logLevel: *logLevel, logText: *logText,
@@ -81,6 +83,7 @@ func main() {
 type coordArgs struct {
 	flips            int
 	seed             uint64
+	backend          string
 	unit, typ, macro string
 	keep             bool
 	shardSize        int
@@ -135,9 +138,24 @@ func run(addr string, a coordArgs) error {
 	}
 	log := obs.NewLogger(os.Stderr, level, !a.logText)
 
+	runner := sfi.DefaultRunnerConfig()
+	if a.backend != "" {
+		known := false
+		for _, b := range sfi.Backends() {
+			if b == a.backend {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown backend %q (have %v)", a.backend, sfi.Backends())
+		}
+		runner.Backend = a.backend
+	}
+
 	cfg := dist.CoordConfig{
 		Campaign: dist.CampaignSpec{
-			Runner:      sfi.DefaultRunnerConfig(),
+			Runner:      runner,
 			Seed:        a.seed,
 			Flips:       a.flips,
 			Filter:      filter,

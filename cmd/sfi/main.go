@@ -14,6 +14,7 @@
 //	sfi -flips 1000 -sticky -duration 200  # 200-cycle stuck-at faults
 //	sfi -flips 1000 -raw                   # mask every hardware checker
 //	sfi -flips 300  -causes                # print cause-effect traces
+//	sfi -flips 500  -backend awan          # gate-level checked-ALU campaign
 //	sfi -flips 5000 -trace inj.jsonl       # one JSONL event per injection
 //	sfi -flips 5000 -metrics -             # Prometheus text dump to stdout
 //	sfi -flips 50000 -http :6060           # expvar+pprof+/metrics while running
@@ -32,6 +33,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -43,6 +45,7 @@ func main() {
 	var (
 		flips    = flag.Int("flips", 1000, "number of latch bits to inject")
 		seed     = flag.Uint64("seed", 1, "sampling seed")
+		backend  = flag.String("backend", "", "engine backend to inject into (p6lite, awan; empty = p6lite)")
 		unit     = flag.String("unit", "", "target one unit (IFU, IDU, FXU, FPU, LSU, RUT, Core)")
 		typ      = flag.String("type", "", "target one latch type (FUNC, REGFILE, GPTR, MODE)")
 		macro    = flag.String("macro", "", "target latch groups by name prefix")
@@ -75,7 +78,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(campaignArgs{
-		flips: *flips, seed: *seed, unit: *unit, typ: *typ, macro: *macro,
+		flips: *flips, seed: *seed, backend: *backend, unit: *unit, typ: *typ, macro: *macro,
 		sticky: *sticky, duration: *duration, span: *span, raw: *raw, noRec: *noRec,
 		window: *window, fixed: *fixed, workers: *workers, nest: *nest,
 		detail: *detail, jsonOut: *jsonOut, causes: *causes, units: *units, types: *types,
@@ -91,6 +94,7 @@ func main() {
 type campaignArgs struct {
 	flips            int
 	seed             uint64
+	backend          string
 	unit, typ, macro string
 	sticky           bool
 	duration         int
@@ -147,6 +151,19 @@ func run(a campaignArgs) error {
 	cfg.Seed = a.seed
 	cfg.Workers = a.workers
 	cfg.KeepResults = true
+	if a.backend != "" {
+		known := false
+		for _, b := range sfi.Backends() {
+			if b == a.backend {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown backend %q (have %v)", a.backend, sfi.Backends())
+		}
+		cfg.Runner.Backend = a.backend
+	}
 	cfg.Runner.CheckersOn = !a.raw
 	cfg.Runner.RecoveryOn = !a.noRec
 	if a.sticky {
@@ -168,15 +185,20 @@ func run(a campaignArgs) error {
 
 	filters := 0
 	if a.unit != "" {
-		found := a.unit == sfi.UnitNEST && a.nest
-		for _, u := range sfi.Units {
-			if u == a.unit {
-				found = true
-				break
+		// The p6lite unit list is only authoritative for the default
+		// backend; other backends bring their own unit vocabulary and the
+		// campaign's population guard rejects a filter that matches nothing.
+		if a.backend == "" || a.backend == sfi.BackendP6Lite {
+			found := a.unit == sfi.UnitNEST && a.nest
+			for _, u := range sfi.Units {
+				if u == a.unit {
+					found = true
+					break
+				}
 			}
-		}
-		if !found {
-			return fmt.Errorf("unknown unit %q (have %v; NEST needs -nest)", a.unit, sfi.Units)
+			if !found {
+				return fmt.Errorf("unknown unit %q (have %v; NEST needs -nest)", a.unit, sfi.Units)
+			}
 		}
 		cfg.Filter = sfi.ByUnit(a.unit)
 		filters++
@@ -325,7 +347,7 @@ func emit(a campaignArgs, rep *sfi.Report, elapsed time.Duration) error {
 
 	if a.units {
 		fmt.Println("\nper unit:")
-		for _, u := range sfi.Units {
+		for _, u := range reportUnits(rep) {
 			fmt.Printf("  %-5s", u)
 			for _, o := range sfi.Outcomes {
 				fmt.Printf(" %s %6.2f%%", o, 100*rep.UnitFraction(u, o))
@@ -348,6 +370,28 @@ func emit(a campaignArgs, rep *sfi.Report, elapsed time.Duration) error {
 		fmt.Print(sfi.TraceReport(rep, 50))
 	}
 	return nil
+}
+
+// reportUnits lists the units to render in the -units breakdown: the
+// paper's p6lite ordering for units the report actually saw, then any
+// backend-specific units (e.g. awan's ALU bank) in sorted order.
+func reportUnits(rep *sfi.Report) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, u := range sfi.Units {
+		if _, ok := rep.ByUnit[u]; ok {
+			out = append(out, u)
+			seen[u] = true
+		}
+	}
+	var extra []string
+	for u := range rep.ByUnit {
+		if !seen[u] {
+			extra = append(extra, u)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
 }
 
 // runDist executes the campaign through the distributed subsystem: an

@@ -216,7 +216,7 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := probe.Core().DB()
+	db := probe.DB()
 
 	out := &Fig3Result{}
 	for _, unit := range Units {
@@ -366,7 +366,7 @@ func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := probe.Core().DB()
+	db := probe.DB()
 
 	out := &Fig5Result{}
 	for i, ty := range LatchTypes {

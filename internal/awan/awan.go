@@ -301,3 +301,34 @@ func (e *Engine) Step() {
 // ProgramLength returns the number of boolean-function instructions per
 // cycle.
 func (e *Engine) ProgramLength() int { return len(e.program) }
+
+// Snapshot copies the full value plane (latches, inputs and combinational
+// values) — a gate-level model checkpoint. The returned slice is owned by
+// the caller and stays valid across further simulation.
+func (e *Engine) Snapshot() []bool {
+	snap := make([]bool, len(e.vals))
+	copy(snap, e.vals)
+	return snap
+}
+
+// Restore overwrites the value plane from a Snapshot. The snapshot is read
+// only, so one immutable snapshot can restore many engine clones.
+func (e *Engine) Restore(snap []bool) {
+	if len(snap) != len(e.vals) {
+		panic(fmt.Sprintf("awan: restore snapshot of %d values into %d-node engine",
+			len(snap), len(e.vals)))
+	}
+	copy(e.vals, snap)
+}
+
+// Clone returns an independent engine over the same compiled design: the
+// immutable netlist, program and latch list are shared, the value plane is
+// copied. Clone and original can then be stepped concurrently.
+func (e *Engine) Clone() *Engine {
+	return &Engine{
+		nl:      e.nl,
+		program: e.program,
+		latches: e.latches,
+		vals:    e.Snapshot(),
+	}
+}

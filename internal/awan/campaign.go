@@ -3,6 +3,8 @@ package awan
 import (
 	"fmt"
 	"math/rand/v2"
+
+	"sfi/internal/engine"
 )
 
 // Macro-level SFI: the gate-level counterpart of the core campaign. Every
@@ -24,6 +26,30 @@ const (
 	// gate-level silent data corruption.
 	MacroSilent
 )
+
+// Outcome folds the gate-level taxonomy into the unified campaign taxonomy
+// (engine.Outcome, re-exported as core.Outcome). The mapping is total and
+// stable — dist reports and journals depend on it not changing:
+//
+//   - MacroMasked → Vanished: no effect, never detected.
+//   - MacroDetected → Checkstop: the design's error output fired; a bare
+//     checker macro has no recovery hardware, so detection is terminal —
+//     the fail-stop outcome.
+//   - MacroSilent → SDC: wrong checked outputs with no detection.
+//
+// Unknown values classify fail-closed as SDC.
+func (o MacroOutcome) Outcome() engine.Outcome {
+	switch o {
+	case MacroMasked:
+		return engine.Vanished
+	case MacroDetected:
+		return engine.Checkstop
+	case MacroSilent:
+		return engine.SDC
+	default:
+		return engine.SDC
+	}
+}
 
 func (o MacroOutcome) String() string {
 	switch o {

@@ -1,0 +1,48 @@
+package awan
+
+import (
+	"testing"
+
+	"sfi/internal/engine"
+)
+
+// TestMacroOutcomeMappingTotalAndStable pins the MacroOutcome → Outcome
+// fold used when gate-level campaigns run through the engine framework.
+// The mapping must be total (every macro outcome, including invalid
+// values, lands on some campaign outcome) and stable (these pairs are
+// wire format: shard reports and journals store the mapped names).
+func TestMacroOutcomeMappingTotalAndStable(t *testing.T) {
+	want := map[MacroOutcome]engine.Outcome{
+		MacroMasked:   engine.Vanished,
+		MacroDetected: engine.Checkstop,
+		MacroSilent:   engine.SDC,
+	}
+	for mo, o := range want {
+		if got := mo.Outcome(); got != o {
+			t.Errorf("%v.Outcome() = %v, want %v", mo, got, o)
+		}
+	}
+
+	// Totality over every representable value near the defined range plus
+	// the zero value: nothing may map to the Outcome zero value, which
+	// would silently drop the injection from every campaign count.
+	for _, mo := range []MacroOutcome{0, MacroMasked, MacroDetected, MacroSilent, 4, 99, -1} {
+		got := mo.Outcome()
+		valid := false
+		for _, o := range engine.Outcomes {
+			if got == o {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Errorf("MacroOutcome(%d).Outcome() = %v, not a campaign outcome", int(mo), got)
+		}
+	}
+
+	// Out-of-range values fail closed to SDC, never to a benign outcome.
+	for _, mo := range []MacroOutcome{0, 4, -1} {
+		if got := mo.Outcome(); got != engine.SDC {
+			t.Errorf("invalid MacroOutcome(%d) mapped to %v, want fail-closed SDC", int(mo), got)
+		}
+	}
+}

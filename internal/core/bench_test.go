@@ -14,44 +14,11 @@ func benchRunnerConfig() RunnerConfig {
 	return cfg
 }
 
-// BenchmarkRestoreCheckpoint compares the dirty-tracking restore fast path
-// against the full-copy slow path at the default memory size. Each
-// iteration perturbs the model the way an injection does (flip + a short
-// run) before restoring, so the dirty path pays a realistic dirty-set cost.
-func BenchmarkRestoreCheckpoint(b *testing.B) {
-	r, err := NewRunner(benchRunnerConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	c := r.eng.Core()
-	ck := r.ckpts[0].ck
-	perturb := func() {
-		c.DB().Flip(0)
-		for i := 0; i < 200; i++ {
-			r.eng.Step()
-		}
-	}
-	b.Run("dirty", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			perturb()
-			b.StartTimer()
-			c.RestoreCheckpoint(ck)
-		}
-	})
-	b.Run("full", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			perturb()
-			b.StartTimer()
-			c.RestoreCheckpointFull(ck)
-		}
-	})
-}
-
 // BenchmarkRunnerClone compares warm-runner cloning against building a
 // runner from scratch (AVP generation + two warm-up passes + the
 // checkpoint pass) — the per-worker campaign start-up cost.
+// (BenchmarkRestoreCheckpoint, which reaches into the checkpoint
+// internals, lives with them in internal/engine/p6lite.)
 func BenchmarkRunnerClone(b *testing.B) {
 	cfg := benchRunnerConfig()
 	proto, err := NewRunner(cfg)
@@ -61,7 +28,7 @@ func BenchmarkRunnerClone(b *testing.B) {
 	b.Run("clone", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cl := proto.Clone()
-			if cl.Core().DB().TotalBits() == 0 {
+			if cl.DB().TotalBits() == 0 {
 				b.Fatal("empty clone")
 			}
 		}
@@ -72,7 +39,7 @@ func BenchmarkRunnerClone(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if r.Core().DB().TotalBits() == 0 {
+			if r.DB().TotalBits() == 0 {
 				b.Fatal("empty runner")
 			}
 		}

@@ -365,7 +365,13 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 	if cfg.Flips < 1 {
 		return nil, fmt.Errorf("core: campaign needs at least one flip")
 	}
-	bits := SampleCampaignBits(first.Core().DB(), cfg.Seed, cfg.Flips, cfg.Filter)
+	// Sampling is without replacement, so the filtered population bounds
+	// the campaign size — easy to exceed on small gate-level designs.
+	if total := first.DB().CountBits(cfg.Filter); cfg.Flips > total {
+		return nil, fmt.Errorf("core: campaign of %d flips exceeds the filtered population of %d bits",
+			cfg.Flips, total)
+	}
+	bits := SampleCampaignBits(first.DB(), cfg.Seed, cfg.Flips, cfg.Filter)
 	if cfg.Shard != nil {
 		s := *cfg.Shard
 		if s.Lo < 0 || s.Hi > cfg.Flips || s.Lo >= s.Hi {

@@ -5,7 +5,8 @@ import (
 	"testing"
 	"time"
 
-	"sfi/internal/emu"
+	"sfi/internal/engine"
+	_ "sfi/internal/engine/p6lite"
 	"sfi/internal/latch"
 	"sfi/internal/proc"
 )
@@ -51,7 +52,7 @@ func TestRunnerDeterministicPerBit(t *testing.T) {
 	}
 	bits := []int{100, 5000, 20000, 40000}
 	for _, b := range bits {
-		if b >= r1.Core().DB().TotalBits() {
+		if b >= r1.DB().TotalBits() {
 			continue
 		}
 		a := r1.RunInjection(b)
@@ -67,7 +68,7 @@ func TestRunnerRepeatable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bit := findBit(t, r.Core().DB(), "fxu.gpr", 3, 12)
+	bit := findBit(t, r.DB(), "fxu.gpr", 3, 12)
 	a := r.RunInjection(bit)
 	b := r.RunInjection(bit)
 	if a.Outcome != b.Outcome || a.Cycles != b.Cycles {
@@ -80,7 +81,7 @@ func TestInjectionIntoSpareModeVanishes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bit := findBit(t, r.Core().DB(), "prv.mode.spare", 2, 30)
+	bit := findBit(t, r.DB(), "prv.mode.spare", 2, 30)
 	res := r.RunInjection(bit)
 	if res.Outcome != Vanished {
 		t.Errorf("spare mode bit flip: %v, want vanished", res.Outcome)
@@ -95,7 +96,7 @@ func TestInjectionIntoRingIntegrityCheckstops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bit := findBit(t, r.Core().DB(), "lsu.mode", 0, 3)
+	bit := findBit(t, r.DB(), "lsu.mode", 0, 3)
 	res := r.RunInjection(bit)
 	if res.Outcome != Checkstop {
 		t.Fatalf("ring integrity flip: %v, want checkstop", res.Outcome)
@@ -118,7 +119,7 @@ func TestInjectionLiveGPRTraced(t *testing.T) {
 	caught := false
 	for e := 1; e <= 8 && !caught; e++ {
 		for b := 0; b < 64; b += 11 {
-			res := r.RunInjection(findBit(t, r.Core().DB(), "fxu.gpr", e, b))
+			res := r.RunInjection(findBit(t, r.DB(), "fxu.gpr", e, b))
 			if res.Outcome == Corrected && res.FirstChecker == "fxu.gpr.par" {
 				if res.Recoveries == 0 {
 					t.Error("corrected without recovery count")
@@ -135,7 +136,7 @@ func TestInjectionLiveGPRTraced(t *testing.T) {
 
 func TestStickyLiveFaultEscalatesToCheckstop(t *testing.T) {
 	cfg := fastRunnerConfig()
-	cfg.Mode = emu.Sticky
+	cfg.Mode = engine.Sticky
 	cfg.StickyCycles = 0
 	r, err := NewRunner(cfg)
 	if err != nil {
@@ -143,7 +144,7 @@ func TestStickyLiveFaultEscalatesToCheckstop(t *testing.T) {
 	}
 	// A stuck-at in the fetch PC parity domain re-fires after every
 	// recovery: the RUT's retry threshold must checkstop.
-	bit := findBit(t, r.Core().DB(), "ifu.pc.par", 0, 0)
+	bit := findBit(t, r.DB(), "ifu.pc.par", 0, 0)
 	res := r.RunInjection(bit)
 	if res.Outcome != Checkstop && res.Outcome != Hang {
 		t.Errorf("permanent stuck-at outcome %v, want checkstop (or hang)", res.Outcome)
@@ -362,7 +363,7 @@ func TestRunnerCloneEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl := r.Clone()
-	total := r.Core().DB().TotalBits()
+	total := r.DB().TotalBits()
 	for i := 0; i < 25; i++ {
 		bit := (i * 104729) % total
 		want := r.RunInjection(bit)

@@ -1,43 +1,29 @@
 // Package core implements Statistical Fault Injection — the paper's
-// contribution. It orchestrates fault-injection campaigns over the
-// emulated model: random or targeted latch selection, checkpointed
-// injection runs under the AVP workload, outcome classification into the
-// paper's categories (vanished, corrected, hang, checkstop, incorrect
-// architected state), cause-and-effect tracing from the injected latch to
-// the first checker that saw it, and per-sample statistics.
+// contribution. It orchestrates fault-injection campaigns over an
+// injectable machine model (any registered engine backend): random or
+// targeted latch selection, checkpointed injection runs under the
+// backend's workload, outcome classification into the paper's categories
+// (vanished, corrected, hang, checkstop, incorrect architected state),
+// cause-and-effect tracing from the injected latch to the first checker
+// that saw it, and per-sample statistics.
 package core
 
-import "fmt"
+import "sfi/internal/engine"
 
-// Outcome classifies the destiny of one injected bit flip (Figure 1).
-type Outcome int
+// Outcome classifies the destiny of one injected bit flip (Figure 1). The
+// taxonomy lives in the backend-neutral engine package so every backend
+// classifies identically; these aliases keep core's historical API.
+type Outcome = engine.Outcome
 
 // Outcomes, in the paper's vocabulary. SDC is the "BAD ARCH STATE" flag:
-// the AVP found incorrect architected state.
+// the workload found incorrect architected state.
 const (
-	Vanished Outcome = iota + 1
-	Corrected
-	Hang
-	Checkstop
-	SDC
+	Vanished  = engine.Vanished
+	Corrected = engine.Corrected
+	Hang      = engine.Hang
+	Checkstop = engine.Checkstop
+	SDC       = engine.SDC
 )
 
 // Outcomes lists all outcomes in reporting order.
-var Outcomes = []Outcome{Vanished, Corrected, Hang, Checkstop, SDC}
-
-func (o Outcome) String() string {
-	switch o {
-	case Vanished:
-		return "vanished"
-	case Corrected:
-		return "corrected"
-	case Hang:
-		return "hang"
-	case Checkstop:
-		return "checkstop"
-	case SDC:
-		return "sdc"
-	default:
-		return fmt.Sprintf("Outcome(%d)", int(o))
-	}
-}
+var Outcomes = engine.Outcomes

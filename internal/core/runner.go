@@ -1,60 +1,20 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
-	"sfi/internal/avp"
-	"sfi/internal/emu"
+	"sfi/internal/engine"
 	"sfi/internal/latch"
 	"sfi/internal/obs"
-	"sfi/internal/proc"
 )
 
-// RunnerConfig parameterizes one injection runner.
-type RunnerConfig struct {
-	Proc proc.Config
-	AVP  avp.Config
-
-	// Window is the post-injection observation budget in cycles. The
-	// paper clocks 500,000 cycles per injection; the default here is
-	// smaller with quiesce-based early exit (see the ablation bench).
-	Window int
-
-	// QuiesceExit ends an injection run early once this many consecutive
-	// testend barriers pass cleanly with no new error activity between
-	// them. 0 disables early exit (the paper's fixed-window behaviour).
-	QuiesceExit int
-
-	// CheckersOn masks (false) or enables (true) every hardware checker —
-	// the paper's Table 3 Raw-vs-Check configurations.
-	CheckersOn bool
-
-	// RecoveryOn disables the RUT when false (ablation).
-	RecoveryOn bool
-
-	// Mode selects toggle or sticky injection; StickyCycles bounds a
-	// sticky fault's lifetime (0 = permanent).
-	Mode         emu.Mode
-	StickyCycles int
-
-	// SpanBits > 1 injects multi-bit upsets: each injection flips
-	// SpanBits adjacent latch bits (clipped at the population edge).
-	SpanBits int
-}
+// RunnerConfig parameterizes one injection runner. It is an alias of the
+// engine-level config: the Backend field selects the machine model (see
+// engine.Register), and the rest parameterizes the injection protocol.
+type RunnerConfig = engine.Config
 
 // DefaultRunnerConfig returns the standard SFI configuration.
-func DefaultRunnerConfig() RunnerConfig {
-	return RunnerConfig{
-		Proc:        proc.DefaultConfig(),
-		AVP:         avp.DefaultConfig(),
-		Window:      50_000,
-		QuiesceExit: 2,
-		CheckersOn:  true,
-		RecoveryOn:  true,
-		Mode:        emu.Toggle,
-	}
-}
+func DefaultRunnerConfig() RunnerConfig { return engine.DefaultConfig() }
 
 // Result records the destiny of one injection, including the cause-effect
 // trace from the flipped latch to the first checker that saw the error.
@@ -75,29 +35,22 @@ type Result struct {
 
 	Recoveries uint64 // RUT retries during the observation window
 	Cycles     uint64 // cycles actually observed
-	TestEnds   int    // AVP barriers passed
+	TestEnds   int    // workload barriers passed
 }
 
-// phasedCheckpoint is a model snapshot taken at one point of the AVP pass.
-type phasedCheckpoint struct {
-	ck     *proc.ModelCheckpoint
-	nextTC int // testcase index expected at the next testend barrier
-}
-
-// Runner owns one emulated model ready for repeated injections: the system
-// is warmed to AVP steady state and checkpointed at several phases of the
-// workload pass; every injection reloads one of the checkpoints (chosen
-// deterministically from the injected bit), advances a small additional
-// phase delay, flips the latch and monitors the outcome. Spreading the
-// injection instants across the workload is what makes the campaign sample
-// "realistic conditions" rather than one fixed machine state.
+// Runner owns one injectable machine model ready for repeated injections:
+// the backend is warmed to workload steady state and checkpointed at
+// several phases of the workload pass; every injection reloads one of the
+// checkpoints (chosen deterministically from the injected bit), advances a
+// small additional phase delay, flips the latch and monitors the outcome.
+// Spreading the injection instants across the workload is what makes the
+// campaign sample "realistic conditions" rather than one fixed machine
+// state. The Runner itself is backend-neutral: everything
+// model-specific — warm-up, checkpoints, barrier verification, machine
+// checks — lives behind the engine.Backend interface.
 type Runner struct {
-	cfg  RunnerConfig
-	eng  *emu.Engine
-	prog *avp.Program
-
-	ckpts     []phasedCheckpoint
-	baseRecov uint64
+	cfg RunnerConfig
+	be  engine.Backend
 
 	// Observability (nil = off, the default): obs collects metrics, trace
 	// records per-injection lifecycle events. Set via SetObs; clones do not
@@ -106,119 +59,52 @@ type Runner struct {
 	trace *obs.TraceSink
 }
 
-// SetObs attaches a metrics collector and/or trace sink to the runner (nil
-// detaches either; the default is fully off). The collector is threaded
-// down into the engine and core so restore latencies and propagation cycle
-// counts are captured at their source.
-func (r *Runner) SetObs(m *obs.Metrics, trace *obs.TraceSink) {
-	r.obs = m
-	r.trace = trace
-	r.eng.SetObs(m)
-}
-
-// NewRunner builds, warms and checkpoints a runner.
+// NewRunner builds, warms and checkpoints a runner on the backend
+// selected by cfg.Backend (the process must have registered it, usually
+// via a blank import of the backend package).
 func NewRunner(cfg RunnerConfig) (*Runner, error) {
-	if cfg.AVP.MemBytes != cfg.Proc.MemBytes {
-		cfg.AVP.MemBytes = cfg.Proc.MemBytes
-	}
-	prog, err := avp.Generate(cfg.AVP)
+	be, err := engine.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	c := proc.New(cfg.Proc)
-	c.Mem().LoadProgram(0, prog.Words)
-	c.SetCheckersEnabled(cfg.CheckersOn)
-	c.SetRecoveryEnabled(cfg.RecoveryOn)
-	eng := emu.New(c)
-
-	// Warm: two full passes reach AVP steady state (memory and registers
-	// in their periodic regime).
-	warmEnds := 2 * cfg.AVP.Testcases
-	ends := 0
-	for guard := 0; ends < warmEnds; guard++ {
-		if guard > 50_000_000 {
-			return nil, fmt.Errorf("core: warm-up did not converge")
-		}
-		if eng.Step().TestEnd {
-			ends++
-		}
-	}
-	// Install the dirty-tracking restore baseline at steady state: the
-	// phased checkpoints below are captured as sparse deltas against it,
-	// and every per-injection reload rewrites only the state that differs.
-	c.InstallRestoreBaseline()
-	r := &Runner{
-		cfg:       cfg,
-		eng:       eng,
-		prog:      prog,
-		baseRecov: c.Recoveries,
-	}
-	// One checkpoint per testcase boundary across a third full pass.
-	for i := 0; i < cfg.AVP.Testcases; i++ {
-		r.ckpts = append(r.ckpts, phasedCheckpoint{
-			ck:     eng.TakeCheckpoint(),
-			nextTC: ends % cfg.AVP.Testcases,
-		})
-		for guard := 0; ; guard++ {
-			if guard > 50_000_000 {
-				return nil, fmt.Errorf("core: checkpoint pass did not converge")
-			}
-			if eng.Step().TestEnd {
-				ends++
-				break
-			}
-		}
-	}
-	return r, nil
+	return &Runner{cfg: cfg, be: be}, nil
 }
 
-// Clone duplicates a warmed runner without re-generating the AVP or
-// re-running the warm-up and checkpoint passes: it builds a fresh model,
-// adopts the prototype's restore baseline (shared read-only) and reloads the
-// first phased checkpoint. The clone shares the prototype's immutable
-// checkpoints and program but owns all mutable model state, so prototype and
-// clones can run injections concurrently. Cloning only reads the
-// prototype's immutable baseline and checkpoint data, never its live state.
+// Backend exposes the runner's engine backend (for backend-specific
+// access; campaign code stays behind the interface).
+func (r *Runner) Backend() engine.Backend { return r.be }
+
+// DB exposes the backend's latch population for sampling and metadata.
+func (r *Runner) DB() *latch.DB { return r.be.DB() }
+
+// SetObs attaches a metrics collector and/or trace sink to the runner (nil
+// detaches either; the default is fully off). The collector is threaded
+// down into the backend so restore latencies and propagation cycle counts
+// are captured at their source.
+func (r *Runner) SetObs(m *obs.Metrics, trace *obs.TraceSink) {
+	r.obs = m
+	r.trace = trace
+	r.be.SetObs(m)
+}
+
+// Clone duplicates a warmed runner without re-running warm-up and
+// checkpointing: the backend shares its immutable checkpoints and
+// workload with the prototype but owns all mutable model state, so
+// prototype and clones can run injections concurrently.
 func (r *Runner) Clone() *Runner {
-	c := proc.New(r.cfg.Proc)
-	c.SetCheckersEnabled(r.cfg.CheckersOn)
-	c.SetRecoveryEnabled(r.cfg.RecoveryOn)
-	c.AdoptBaselineFrom(r.eng.Core())
-	eng := emu.New(c)
-	nr := &Runner{
-		cfg:       r.cfg,
-		eng:       eng,
-		prog:      r.prog,
-		ckpts:     r.ckpts,
-		baseRecov: r.baseRecov,
-	}
-	// Synchronize counters and capture state with a (dirty-path) reload.
-	eng.ReloadFrom(r.ckpts[0].ck)
-	return nr
+	return &Runner{cfg: r.cfg, be: r.be.Clone()}
 }
 
-// splitmix64 is the per-bit hash that deterministically assigns each
-// injection its workload phase, independent of worker scheduling.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// Core exposes the underlying model (for sampling its latch database).
-func (r *Runner) Core() *proc.Core { return r.eng.Core() }
-
-// Program exposes the AVP running on the model.
-func (r *Runner) Program() *avp.Program { return r.prog }
+// splitmix64 deterministically assigns each injection its workload phase,
+// independent of worker scheduling.
+func splitmix64(x uint64) uint64 { return engine.Splitmix64(x) }
 
 // RunInjection reloads a phase-determined checkpoint, injects a single bit
 // flip and observes the machine, returning the classified result.
 func (r *Runner) RunInjection(bit int) Result {
 	h := splitmix64(uint64(bit))
-	ckIdx := int(h % uint64(len(r.ckpts)))
-	ph := r.ckpts[ckIdx]
-	delay := int((h >> 16) % 197) // sub-testcase phase jitter, in cycles
+	ckIdx := int(h % uint64(r.be.Phases()))
+	delay := int((h >> 16) % 197) // sub-workload phase jitter, in cycles
 
 	// Observability is off (nil) by default; the instrumented path times
 	// the restore and propagation phases for metrics and trace events.
@@ -228,20 +114,15 @@ func (r *Runner) RunInjection(bit int) Result {
 	if observed {
 		t0 = time.Now()
 	}
-	r.eng.ReloadFrom(ph.ck)
+	r.be.ReloadPhase(ckIdx)
 	if observed {
 		restoreNs = time.Since(t0).Nanoseconds()
 	}
-	c := r.eng.Core()
-	db := c.DB()
-	nextTC := ph.nextTC
 	for i := 0; i < delay; i++ {
-		if r.eng.Step().TestEnd {
-			nextTC = (nextTC + 1) % r.cfg.AVP.Testcases
-		}
+		r.be.Step()
 	}
 
-	g, entry, bie := db.Locate(bit)
+	g, entry, bie := r.be.DB().Locate(bit)
 	res := Result{
 		Bit:        bit,
 		Group:      g.Name,
@@ -251,34 +132,26 @@ func (r *Runner) RunInjection(bit int) Result {
 		BitInEntry: bie,
 	}
 
-	injectCycle := c.Cycle
-	if err := r.eng.Inject(emu.Injection{
+	injectCycle := r.be.Cycle()
+	if err := r.be.Inject(engine.Injection{
 		Bit: bit, Mode: r.cfg.Mode, Duration: r.cfg.StickyCycles,
 		Span: r.cfg.SpanBits,
 	}); err != nil {
 		panic(err) // bits come from the database's own sampling
 	}
 
-	tcIdx := nextTC
-	ncases := r.cfg.AVP.Testcases
 	sdc := false
 	cleanEnds := 0
-	lastActivity := c.Recoveries
 
-	onTestEnd := func() bool {
-		tc := r.prog.Testcases[tcIdx]
-		tcIdx = (tcIdx + 1) % ncases
-		st := c.ArchState()
-		sigOK := st.MaskedSignature(tc.GPRMask, tc.FPRMask, tc.SPRMask) == tc.SigMasked
-		memOK := c.Mem().DigestRange(r.prog.DataLo, r.prog.DataHi) == tc.MemDigest
-		if !sigOK || !memOK {
+	onBarrier := func() bool {
+		chk := r.be.CheckBarrier()
+		if !chk.StateOK {
 			sdc = true
 			return false // incorrect architected state: stop
 		}
 		// Quiesce-based early exit: consecutive clean barriers with no
 		// new error activity in between.
-		if c.Recoveries != lastActivity || c.InRecovery() {
-			lastActivity = c.Recoveries
+		if chk.Busy {
 			cleanEnds = 0
 			return true
 		}
@@ -290,29 +163,30 @@ func (r *Runner) RunInjection(bit int) Result {
 	if observed {
 		p0 = time.Now()
 	}
-	run := r.eng.Run(r.cfg.Window, onTestEnd)
+	run := r.be.Run(r.cfg.Window, onBarrier)
 	var propagateNs int64
 	if observed {
 		propagateNs = time.Since(p0).Nanoseconds()
 	}
 	res.Cycles = run.Cycles
-	res.TestEnds = run.TestEnds
-	res.Recoveries = c.Recoveries - r.baseRecov
+	res.TestEnds = run.Barriers
 
-	if id, cyc, ok := c.FirstError(); ok {
+	v := r.be.Verdict()
+	res.Recoveries = v.Recoveries
+	if v.Detected {
 		res.Detected = true
-		res.FirstChecker = c.CheckerByID(id).Name
-		res.DetectLatency = cyc - injectCycle
+		res.FirstChecker = v.FirstChecker
+		res.DetectLatency = v.DetectCycle - injectCycle
 	}
 
 	switch {
-	case c.Checkstopped():
+	case v.Checkstop:
 		res.Outcome = Checkstop
 	case run.Hang || run.NoProgress:
 		res.Outcome = Hang
 	case sdc:
 		res.Outcome = SDC
-	case res.Recoveries > 0 || c.ArrayCorrectedCount() > 0 || c.AnyFIR():
+	case res.Recoveries > 0 || v.Corrected:
 		res.Outcome = Corrected
 	default:
 		res.Outcome = Vanished
@@ -343,7 +217,7 @@ func (r *Runner) RunInjection(bit int) Result {
 			FirstChecker:  res.FirstChecker,
 			DetectLatency: res.DetectLatency,
 			Recoveries:    res.Recoveries,
-			FIR:           r.eng.FIRNames(),
+			FIR:           r.be.FIRNames(),
 		})
 	}
 	return res

@@ -46,8 +46,8 @@ func TestSampleCampaignBitsPure(t *testing.T) {
 		t.Fatal(err)
 	}
 	for seed := uint64(1); seed <= 3; seed++ {
-		a := SampleCampaignBits(r1.Core().DB(), seed, 500, nil)
-		b := SampleCampaignBits(r2.Core().DB(), seed, 500, nil)
+		a := SampleCampaignBits(r1.DB(), seed, 500, nil)
+		b := SampleCampaignBits(r2.DB(), seed, 500, nil)
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("seed %d: samples differ across identical models", seed)
 		}

@@ -1,0 +1,173 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"sfi/internal/core"
+	"sfi/internal/engine"
+)
+
+// awanSpec is a small gate-level campaign: an 8-lane bank of 8-bit
+// checked ALUs (208 latch bits) instead of the default 1600-bit bank.
+func awanSpec() CampaignSpec {
+	rc := core.DefaultRunnerConfig()
+	rc.Backend = "awan"
+	rc.Awan.Width = 8
+	rc.Awan.Lanes = 8
+	return CampaignSpec{
+		Runner:       rc,
+		Seed:         7,
+		Flips:        48,
+		KeepResults:  true,
+		ShardWorkers: 2,
+	}
+}
+
+// TestJournalRejectsForeignBackend: a journal written for one engine
+// backend must refuse to resume a campaign on another — shard reports
+// from different machine models must never merge, even when seed, flips
+// and filter all coincide.
+func TestJournalRejectsForeignBackend(t *testing.T) {
+	spec := testSpec()
+	spec.Flips = 30
+	journal := filepath.Join(t.TempDir(), "campaign.journal")
+	c1, err := NewCoordinator(CoordConfig{Campaign: spec, ShardSize: 10, Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	spec.Runner.Backend = "awan"
+	if _, err := NewCoordinator(CoordConfig{Campaign: spec, ShardSize: 10, Journal: journal}); err == nil {
+		t.Fatal("coordinator resumed a p6lite journal with an awan campaign")
+	}
+
+	// The header binds the *resolved* name: an explicit "p6lite" spec must
+	// still resume a journal written under the default empty backend.
+	spec.Runner.Backend = engine.DefaultBackend
+	c3, err := NewCoordinator(CoordConfig{Campaign: spec, ShardSize: 10, Journal: journal})
+	if err != nil {
+		t.Fatalf("explicit default backend rejected its own journal: %v", err)
+	}
+	c3.Close()
+}
+
+// TestAwanLoopbackEquivalence mirrors TestLoopbackEquivalence for the
+// gate-level backend: a 4-worker distributed awan campaign must produce
+// totals, per-unit/per-type rows and kept per-injection results identical
+// to the same-seed single-process run.
+func TestAwanLoopbackEquivalence(t *testing.T) {
+	spec := awanSpec()
+	c, srv := startCoord(t, CoordConfig{Campaign: spec, ShardSize: 12})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	workerErr := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			workerErr <- RunWorker(ctx, WorkerConfig{
+				Coordinator: srv.URL,
+				ID:          fmt.Sprintf("w%d", i),
+				PollEvery:   20 * time.Millisecond,
+			})
+		}(i)
+	}
+	got, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-workerErr; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+
+	ccfg, err := spec.CampaignConfig(core.ShardRange{Lo: 0, Hi: spec.Flips})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg.Workers = 2
+	want, err := core.RunCampaign(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Total != want.Total {
+		t.Fatalf("total: distributed %d, single-process %d", got.Total, want.Total)
+	}
+	if !reflect.DeepEqual(got.Counts, want.Counts) {
+		t.Errorf("outcome counts differ:\ndist:   %v\nsingle: %v", got.Counts, want.Counts)
+	}
+	if !reflect.DeepEqual(got.ByUnit, want.ByUnit) {
+		t.Errorf("per-unit counts differ:\ndist:   %v\nsingle: %v", got.ByUnit, want.ByUnit)
+	}
+	if !reflect.DeepEqual(got.ByType, want.ByType) {
+		t.Errorf("per-type counts differ:\ndist:   %v\nsingle: %v", got.ByType, want.ByType)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("kept results: distributed %d, single-process %d", len(got.Results), len(want.Results))
+	}
+	for i := range got.Results {
+		g, w := got.Results[i], want.Results[i]
+		if g.Bit != w.Bit || g.Outcome != w.Outcome {
+			t.Fatalf("result %d differs: dist bit %d %v, single bit %d %v",
+				i, g.Bit, g.Outcome, w.Bit, w.Outcome)
+		}
+	}
+}
+
+// TestWireReportRoundTripBothBackends: for each backend, a real campaign
+// report must survive the wire encoding (EncodeReport → JSON → WireReport
+// → Report → re-encode) with byte-identical JSON — the property shard
+// merging and journal replay both depend on.
+func TestWireReportRoundTripBothBackends(t *testing.T) {
+	for _, backend := range []string{"p6lite", "awan"} {
+		t.Run(backend, func(t *testing.T) {
+			var spec CampaignSpec
+			if backend == "awan" {
+				spec = awanSpec()
+			} else {
+				spec = testSpec()
+			}
+			spec.Flips = 16
+			ccfg, err := spec.CampaignConfig(core.ShardRange{Lo: 0, Hi: spec.Flips})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ccfg.Workers = 2
+			rep, err := core.RunCampaign(ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			first, err := json.Marshal(EncodeReport(rep))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wire WireReport
+			if err := json.Unmarshal(first, &wire); err != nil {
+				t.Fatal(err)
+			}
+			back, err := wire.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := json.Marshal(EncodeReport(back))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(first) != string(second) {
+				t.Fatalf("wire round trip not stable:\nfirst:  %s\nsecond: %s", first, second)
+			}
+			if !reflect.DeepEqual(rep.Counts, back.Counts) {
+				t.Fatalf("counts changed across the wire: %v vs %v", rep.Counts, back.Counts)
+			}
+		})
+	}
+}

@@ -1,0 +1,9 @@
+package dist
+
+// A worker must be able to materialize whichever backend the coordinator's
+// campaign spec names, so the dist package links every engine backend in;
+// registration happens in their package inits.
+import (
+	_ "sfi/internal/engine/awan"
+	_ "sfi/internal/engine/p6lite"
+)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sfi/internal/core"
+	"sfi/internal/engine"
 	"sfi/internal/obs"
 )
 
@@ -163,6 +164,7 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		j, recovered, err := openJournal(cfg.Journal, journalHeader{
 			V:         1,
 			Seed:      cfg.Campaign.Seed,
+			Backend:   engine.Resolve(cfg.Campaign.Runner.Backend),
 			Flips:     cfg.Campaign.Flips,
 			ShardSize: cfg.ShardSize,
 			Filter:    cfg.Campaign.Filter,

@@ -18,8 +18,12 @@ import (
 // mid-append) is ignored on replay — that shard simply reruns.
 
 type journalHeader struct {
-	V         int        `json:"v"`
-	Seed      uint64     `json:"seed"`
+	V    int    `json:"v"`
+	Seed uint64 `json:"seed"`
+	// Backend is the resolved engine backend name: shard reports from
+	// different machine models must never be merged, so a journal written
+	// by one backend rejects resumption under another.
+	Backend   string     `json:"backend,omitempty"`
 	Flips     int        `json:"flips"`
 	ShardSize int        `json:"shard_size"`
 	Filter    FilterSpec `json:"filter"`

@@ -9,39 +9,27 @@ package emu
 import (
 	"fmt"
 
+	"sfi/internal/engine"
 	"sfi/internal/obs"
 	"sfi/internal/proc"
 )
 
-// Mode selects how long an injected fault is forced.
-type Mode int
+// Mode and Injection are re-homed in the backend-neutral engine package
+// (they describe a fault in any backend, not just this one); the aliases
+// keep emu's historical API intact for direct engine users.
+type (
+	// Mode selects how long an injected fault is forced.
+	Mode = engine.Mode
+	// Injection describes one latch fault.
+	Injection = engine.Injection
+)
 
 // Injection modes (paper section 2: "the fault may exist for the duration
 // of a cycle (toggle mode) or for a larger number of cycles (sticky mode)").
 const (
-	Toggle Mode = iota + 1
-	Sticky
+	Toggle = engine.Toggle
+	Sticky = engine.Sticky
 )
-
-func (m Mode) String() string {
-	if m == Toggle {
-		return "toggle"
-	}
-	return "sticky"
-}
-
-// Injection describes one latch fault.
-type Injection struct {
-	Bit  int  // logical latch-bit index in the core's latch database
-	Mode Mode // toggle: flip once; sticky: hold the flipped value
-	// Duration is the number of cycles a sticky fault is held
-	// (0 = held for the rest of the run).
-	Duration int
-	// Span flips Span adjacent logical bits starting at Bit (clipped to
-	// the population) — a multi-bit upset. 0 and 1 both mean single-bit.
-	// Sticky mode holds only the first bit of a span.
-	Span int
-}
 
 // Engine drives one core model.
 type Engine struct {

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"sfi/internal/avp"
+	"sfi/internal/proc"
+)
+
+// Config parameterizes one injection backend. It is the wire-serializable
+// runner description (dist.CampaignSpec embeds it), so every field must
+// survive a JSON round-trip.
+type Config struct {
+	// Backend selects the registered engine backend by name; "" means
+	// DefaultBackend ("p6lite", the latch-accurate core model).
+	Backend string `json:",omitempty"`
+
+	Proc proc.Config
+	AVP  avp.Config
+
+	// Window is the post-injection observation budget in cycles. The
+	// paper clocks 500,000 cycles per injection; the default here is
+	// smaller with quiesce-based early exit (see the ablation bench).
+	Window int
+
+	// QuiesceExit ends an injection run early once this many consecutive
+	// verification barriers pass cleanly with no new error activity
+	// between them. 0 disables early exit (the paper's fixed-window
+	// behaviour).
+	QuiesceExit int
+
+	// CheckersOn masks (false) or enables (true) every hardware checker —
+	// the paper's Table 3 Raw-vs-Check configurations.
+	CheckersOn bool
+
+	// RecoveryOn disables the RUT when false (ablation).
+	RecoveryOn bool
+
+	// Mode selects toggle or sticky injection; StickyCycles bounds a
+	// sticky fault's lifetime (0 = permanent).
+	Mode         Mode
+	StickyCycles int
+
+	// SpanBits > 1 injects multi-bit upsets: each injection flips
+	// SpanBits adjacent latch bits (clipped at the population edge).
+	SpanBits int
+
+	// Awan parameterizes the gate-level "awan" backend; other backends
+	// ignore it.
+	Awan AwanConfig `json:",omitempty"`
+}
+
+// AwanConfig sizes the gate-level backend's design under test: Lanes
+// independent checked-ALU macros (internal/awan.BuildCheckedALU) of Width
+// bits each, driven in lockstep by a deterministic operand stream. The
+// injectable population is Lanes × (3·Width + 2) latch bits.
+type AwanConfig struct {
+	// Width is the ALU operand width in bits (default 16, max 64).
+	Width int `json:",omitempty"`
+	// Lanes is the number of checked-ALU instances (default 32).
+	Lanes int `json:",omitempty"`
+}
+
+// DefaultConfig returns the standard SFI configuration (the p6lite core
+// model under the AVP workload).
+func DefaultConfig() Config {
+	return Config{
+		Proc:        proc.DefaultConfig(),
+		AVP:         avp.DefaultConfig(),
+		Window:      50_000,
+		QuiesceExit: 2,
+		CheckersOn:  true,
+		RecoveryOn:  true,
+		Mode:        Toggle,
+	}
+}

@@ -1,0 +1,39 @@
+package engine
+
+import "fmt"
+
+// Outcome classifies the destiny of one injected bit flip (the paper's
+// Figure 1 vocabulary). It lives at the engine layer so every backend —
+// latch-level and gate-level alike — classifies into the same taxonomy;
+// internal/core re-exports it as core.Outcome.
+type Outcome int
+
+// Outcomes. SDC is the "BAD ARCH STATE" flag: the workload's golden
+// reference found incorrect architected state.
+const (
+	Vanished Outcome = iota + 1
+	Corrected
+	Hang
+	Checkstop
+	SDC
+)
+
+// Outcomes lists all outcomes in reporting order.
+var Outcomes = []Outcome{Vanished, Corrected, Hang, Checkstop, SDC}
+
+func (o Outcome) String() string {
+	switch o {
+	case Vanished:
+		return "vanished"
+	case Corrected:
+		return "corrected"
+	case Hang:
+		return "hang"
+	case Checkstop:
+		return "checkstop"
+	case SDC:
+		return "sdc"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}

@@ -26,11 +26,16 @@ import (
 
 	"sfi/internal/beam"
 	"sfi/internal/core"
-	"sfi/internal/emu"
+	"sfi/internal/engine"
 	"sfi/internal/latch"
 	"sfi/internal/obs"
 	"sfi/internal/proc"
 	"sfi/internal/workload"
+
+	// Engine backends register themselves by import: every facade user can
+	// select them by name via RunnerConfig.Backend.
+	_ "sfi/internal/engine/awan"
+	_ "sfi/internal/engine/p6lite"
 )
 
 // Re-exported campaign types: see the core package for full documentation.
@@ -68,7 +73,7 @@ type (
 	LatchType = latch.Type
 
 	// InjectionMode is toggle or sticky.
-	InjectionMode = emu.Mode
+	InjectionMode = engine.Mode
 
 	// ObsConfig selects campaign observability features (zero value = off).
 	ObsConfig = core.ObsConfig
@@ -99,9 +104,23 @@ const (
 
 // Injection modes.
 const (
-	Toggle = emu.Toggle
-	Sticky = emu.Sticky
+	Toggle = engine.Toggle
+	Sticky = engine.Sticky
 )
+
+// Engine backend names: set RunnerConfig.Backend to select the machine
+// model a campaign injects into (BackendP6Lite is the default).
+const (
+	// BackendP6Lite is the latch-accurate POWER6-style core model under
+	// the AVP workload.
+	BackendP6Lite = "p6lite"
+	// BackendAwan is the gate-level netlist engine running a bank of
+	// checked-ALU macros (size it with RunnerConfig.Awan).
+	BackendAwan = "awan"
+)
+
+// Backends lists the registered engine backend names.
+func Backends() []string { return engine.Backends() }
 
 // Latch types.
 const (
