@@ -31,7 +31,7 @@ race:
 # re-measure the headline numbers and emit the machine-readable record.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
-	$(GO) run ./cmd/sfi-bench -out BENCH_pr4.json
+	$(GO) run ./cmd/sfi-bench -out BENCH_pr6.json
 
 # overhead is the observability cost gate: BenchmarkInjection with the
 # no-op default must stay within 5% of the recorded baseline, the

@@ -12,7 +12,9 @@
 // baseline, and fails if the metrics-on overhead exceeds 5%. It also runs
 // a distributed-loopback paired measurement — the same campaign through a
 // loopback coordinator with fleet observability off and on — and fails if
-// the heartbeat-piggyback/trace-attach path costs more than 5% wall time:
+// the heartbeat-piggyback/trace-attach path costs more than 5% wall time.
+// Since PR 6 it also pairs a scalar (BatchLanes=1) against a bit-parallel
+// (64-lane) awan campaign and fails if the lane speedup falls below 8x:
 //
 //	sfi-bench -guard -baseline BENCH_baseline.json
 //
@@ -30,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"reflect"
 	"regexp"
 	"runtime"
 	"strconv"
@@ -42,6 +45,11 @@ import (
 )
 
 const tolerance = 0.05 // 5% regression / overhead budget
+
+// laneSpeedupFloor is the PR 6 acceptance bar: one 64-lane model pass
+// retires 63 injections, so even with divergence-tracking overhead the
+// batched awan path must beat the scalar path by at least this factor.
+const laneSpeedupFloor = 8.0
 
 func main() {
 	var (
@@ -93,6 +101,12 @@ type benchRecord struct {
 		ObsOnMs     float64 `json:"obs_on_ms"`
 		OverheadPct float64 `json:"overhead_pct"`
 	} `json:"dist_loopback"`
+
+	AwanLanes struct {
+		ScalarInjPerSec float64 `json:"scalar_inj_per_sec"`
+		LanesInjPerSec  float64 `json:"lanes_inj_per_sec"`
+		LaneSpeedup     float64 `json:"lane_speedup"`
+	} `json:"awan_lanes"`
 }
 
 type baselineRecord struct {
@@ -120,8 +134,17 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	fmt.Fprintf(os.Stderr, "sfi-bench: dist loopback %.0f ms off, %.0f ms on (overhead %+.2f%%)\n",
 		1000*distOff, 1000*distOn, 100*distOverhead)
 
+	fmt.Fprintln(os.Stderr, "sfi-bench: measuring awan campaign (scalar vs 64-lane batch)...")
+	scalarInjS, lanesInjS, err := measureAwanLanesPaired(3)
+	if err != nil {
+		return err
+	}
+	laneSpeedup := lanesInjS / scalarInjS
+	fmt.Fprintf(os.Stderr, "sfi-bench: awan %.0f inj/s scalar, %.0f inj/s lanes (%.1fx)\n",
+		scalarInjS, lanesInjS, laneSpeedup)
+
 	if guard || record {
-		gerr := runGuard(baselinePath, record, offNs, overhead, distOverhead)
+		gerr := runGuard(baselinePath, record, offNs, overhead, distOverhead, laneSpeedup)
 		if gerr != nil && !record {
 			// One fresh measurement before failing: a transient load burst
 			// inflates both measurements and passes the retry, while a real
@@ -135,11 +158,17 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 			if merr != nil {
 				return merr
 			}
+			sc2, ln2, merr := measureAwanLanesPaired(3)
+			if merr != nil {
+				return merr
+			}
 			offNs, onNs = min(offNs, off2), min(onNs, on2)
 			distOff, distOn = min(distOff, dOff2), min(distOn, dOn2)
+			scalarInjS, lanesInjS = max(scalarInjS, sc2), max(lanesInjS, ln2)
 			overhead = (onNs - offNs) / offNs
 			distOverhead = (distOn - distOff) / distOff
-			gerr = runGuard(baselinePath, false, offNs, overhead, distOverhead)
+			laneSpeedup = lanesInjS / scalarInjS
+			gerr = runGuard(baselinePath, false, offNs, overhead, distOverhead, laneSpeedup)
 		}
 		if gerr != nil {
 			return gerr
@@ -150,7 +179,7 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	}
 
 	fmt.Fprintln(os.Stderr, "sfi-bench: measuring checkpoint restore...")
-	restoreOut, err := goBench("./internal/core", "^BenchmarkRestoreCheckpoint$", "300x", 1)
+	restoreOut, err := goBench("./internal/engine/p6lite", "^BenchmarkRestoreCheckpoint$", "300x", 1)
 	if err != nil {
 		return err
 	}
@@ -195,6 +224,9 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	rec.DistLoopback.ObsOffMs = 1000 * distOff
 	rec.DistLoopback.ObsOnMs = 1000 * distOn
 	rec.DistLoopback.OverheadPct = 100 * distOverhead
+	rec.AwanLanes.ScalarInjPerSec = scalarInjS
+	rec.AwanLanes.LanesInjPerSec = lanesInjS
+	rec.AwanLanes.LaneSpeedup = laneSpeedup
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -208,11 +240,12 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	return nil
 }
 
-// runGuard enforces the three 5% budgets: no-op-observability regression
+// runGuard enforces the three 5% budgets — no-op-observability regression
 // against the recorded baseline, metrics-on overhead against the in-run
-// metrics-off measurement, and fleet-observability (heartbeat piggyback +
-// trace attach) overhead on the distributed loopback path.
-func runGuard(path string, record bool, offNsOp, overhead, distOverhead float64) error {
+// metrics-off measurement, fleet-observability (heartbeat piggyback +
+// trace attach) overhead on the distributed loopback path — plus the 8x
+// floor on the bit-parallel awan lane speedup.
+func runGuard(path string, record bool, offNsOp, overhead, distOverhead, laneSpeedup float64) error {
 	if overhead > tolerance {
 		return fmt.Errorf("observability overhead %.2f%% exceeds the %.0f%% budget",
 			100*overhead, 100*tolerance)
@@ -220,6 +253,10 @@ func runGuard(path string, record bool, offNsOp, overhead, distOverhead float64)
 	if distOverhead > tolerance {
 		return fmt.Errorf("distributed fleet-observability overhead %.2f%% exceeds the %.0f%% budget",
 			100*distOverhead, 100*tolerance)
+	}
+	if laneSpeedup < laneSpeedupFloor {
+		return fmt.Errorf("awan lane speedup %.1fx is below the %.0fx floor",
+			laneSpeedup, laneSpeedupFloor)
 	}
 	data, err := os.ReadFile(path)
 	switch {
@@ -397,6 +434,52 @@ func measureDistPaired(rounds int) (offSec, onSec float64, err error) {
 		}
 	}
 	return offBest.Seconds(), onBest.Seconds(), nil
+}
+
+// measureAwanLanesPaired times the same gate-level campaign through the
+// scalar path (BatchLanes=1) and the bit-parallel 64-lane batch path in
+// interleaved rounds, keeping the best inj/s of each side. Both sides use
+// the same seed, sample and worker count, so the ratio isolates the lane
+// packing itself; each round also cross-checks that the two paths produced
+// identical outcome totals, making the speedup claim about equivalent work.
+func measureAwanLanesPaired(rounds int) (scalarInjS, lanesInjS float64, err error) {
+	config := func(batchLanes int) sfi.CampaignConfig {
+		c := sfi.DefaultCampaignConfig()
+		c.Runner.Backend = "awan"
+		c.Runner.Awan.Width = 8
+		c.Runner.Awan.Lanes = 16
+		c.Runner.BatchLanes = batchLanes
+		c.Seed = 9
+		c.Flips = 384
+		c.Workers = 1
+		return c
+	}
+	side := func(batchLanes int) (float64, *sfi.Report, error) {
+		cfg := config(batchLanes)
+		t0 := time.Now()
+		rep, err := sfi.RunCampaign(cfg)
+		if err != nil {
+			return 0, nil, err
+		}
+		return float64(cfg.Flips) / time.Since(t0).Seconds(), rep, nil
+	}
+	for round := 0; round < rounds; round++ {
+		sInjS, sRep, err := side(1)
+		if err != nil {
+			return 0, 0, err
+		}
+		lInjS, lRep, err := side(0)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !reflect.DeepEqual(sRep.Counts, lRep.Counts) {
+			return 0, 0, fmt.Errorf("awan lane measurement is not comparing equivalent work: "+
+				"scalar counts %v, lane counts %v", sRep.Counts, lRep.Counts)
+		}
+		scalarInjS = max(scalarInjS, sInjS)
+		lanesInjS = max(lanesInjS, lInjS)
+	}
+	return scalarInjS, lanesInjS, nil
 }
 
 // goBench runs the selected benchmarks and returns the combined output.

@@ -50,6 +50,7 @@ func main() {
 		flips     = flag.Int("flips", 10000, "number of latch bits to inject")
 		seed      = flag.Uint64("seed", 1, "sampling seed")
 		backend   = flag.String("backend", "", "engine backend workers inject into (p6lite, awan; empty = p6lite)")
+		lanes     = flag.Int("lanes", 0, "simulation-lane word width for batch-capable backends (awan): 64 packs 63 faults per model pass, 1 forces the scalar path, 0 = backend maximum")
 		unit      = flag.String("unit", "", "target one unit")
 		typ       = flag.String("type", "", "target one latch type")
 		macro     = flag.String("macro", "", "target latch groups by name prefix")
@@ -69,7 +70,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*addr, coordArgs{
-		flips: *flips, seed: *seed, backend: *backend, unit: *unit, typ: *typ, macro: *macro,
+		flips: *flips, seed: *seed, backend: *backend, lanes: *lanes, unit: *unit, typ: *typ, macro: *macro,
 		keep: *keep, shardSize: *shardSize, ttl: *ttl, attempts: *attempts,
 		journal: *journal, shardTrace: *shardTr, jsonOut: *jsonOut,
 		progress: *progress, logLevel: *logLevel, logText: *logText,
@@ -84,6 +85,7 @@ type coordArgs struct {
 	flips            int
 	seed             uint64
 	backend          string
+	lanes            int
 	unit, typ, macro string
 	keep             bool
 	shardSize        int
@@ -151,6 +153,9 @@ func run(addr string, a coordArgs) error {
 			return fmt.Errorf("unknown backend %q (have %v)", a.backend, sfi.Backends())
 		}
 		runner.Backend = a.backend
+	}
+	if a.lanes > 0 {
+		runner.BatchLanes = a.lanes
 	}
 
 	cfg := dist.CoordConfig{

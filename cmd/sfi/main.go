@@ -58,6 +58,7 @@ func main() {
 		fixed    = flag.Bool("fixed-window", false, "disable quiesce early exit (paper's fixed 500k-cycle style)")
 		nest     = flag.Bool("nest", false, "enable the core periphery (L2 + memory controller)")
 		workers  = flag.Int("workers", 0, "concurrent model copies (0 = GOMAXPROCS)")
+		lanes    = flag.Int("lanes", 0, "simulation-lane word width for batch-capable backends (awan): 64 packs 63 faults per model pass, 1 forces the scalar path, 0 = backend maximum")
 		detail   = flag.Bool("detail", false, "print confidence intervals, latency stats and checker coverage")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 		causes   = flag.Bool("causes", false, "print cause-effect traces of non-vanished injections")
@@ -80,7 +81,7 @@ func main() {
 	if err := run(campaignArgs{
 		flips: *flips, seed: *seed, backend: *backend, unit: *unit, typ: *typ, macro: *macro,
 		sticky: *sticky, duration: *duration, span: *span, raw: *raw, noRec: *noRec,
-		window: *window, fixed: *fixed, workers: *workers, nest: *nest,
+		window: *window, fixed: *fixed, workers: *workers, lanes: *lanes, nest: *nest,
 		detail: *detail, jsonOut: *jsonOut, causes: *causes, units: *units, types: *types,
 		dist: *distN, shardSize: *shardSize,
 		trace: *trace, traceSample: *traceSmp, metrics: *metrics,
@@ -103,6 +104,7 @@ type campaignArgs struct {
 	window           int
 	fixed            bool
 	workers          int
+	lanes            int
 	nest             bool
 	detail           bool
 	jsonOut          bool
@@ -178,6 +180,9 @@ func run(a campaignArgs) error {
 	}
 	if a.fixed {
 		cfg.Runner.QuiesceExit = 0
+	}
+	if a.lanes > 0 {
+		cfg.Runner.BatchLanes = a.lanes
 	}
 	if a.nest {
 		cfg.Runner.Proc.EnableNest = true
@@ -521,6 +526,10 @@ func printSummary(rep *sfi.Report, elapsed time.Duration) {
 		time.Duration(s.RestoreNs.Quantile(0.5)).Round(time.Microsecond),
 		time.Duration(s.RestoreNs.Quantile(0.95)).Round(time.Microsecond),
 		s.Restores)
+	if s.Batches > 0 {
+		fmt.Printf("batch:    %d passes, mean %.1f lanes/pass (p95 %d)\n",
+			s.Batches, s.LaneOccupancy.Mean(), s.LaneOccupancy.Quantile(0.95))
+	}
 	fmt.Printf("observe:  p50 %d  p95 %d cycles/injection  (%d cycles total)\n",
 		s.PropagateCycles.Quantile(0.5), s.PropagateCycles.Quantile(0.95), s.Cycles)
 	if s.DetectCycles.Count > 0 {

@@ -146,13 +146,33 @@ func (n *Netlist) Gates() int {
 	return g
 }
 
+// Lanes is the width of the engine's value plane: every node carries one
+// uint64 word whose bit k is the node's value in simulation lane k. The
+// boolean program is evaluated with bitwise operators, so one Eval advances
+// all 64 lanes at once — classic parallel-pattern fault simulation. By
+// convention lane 0 is the golden/reference computation and lanes 1..63
+// each carry one independent fault (see Diverged).
+const Lanes = 64
+
+// broadcast expands a scalar boolean to an all-lanes word.
+func broadcast(v bool) uint64 {
+	if v {
+		return ^uint64(0)
+	}
+	return 0
+}
+
 // Engine is a compiled netlist ready for cycle simulation: the levelized
-// boolean program plus the value plane.
+// boolean program plus the value plane. The scalar facade (SetInput, Value,
+// FlipLatch, SetLatch) broadcasts across all lanes, so single-fault users
+// never see the lanes; the *Lanes methods address individual lanes for
+// bit-parallel batched injection.
 type Engine struct {
 	nl      *Netlist
 	program []int // combinational node ids in dependency order
 	latches []int
-	vals    []bool
+	vals    []uint64 // one word per node: bit k = lane k's value
+	scratch []uint64 // latch next-state buffer, reused across Steps
 }
 
 // Compile levelizes the netlist into an executable program. It returns an
@@ -212,12 +232,13 @@ func Compile(nl *Netlist) (*Engine, error) {
 		nl:      nl,
 		program: program,
 		latches: nl.Latches(),
-		vals:    make([]bool, len(nl.nodes)),
+		vals:    make([]uint64, len(nl.nodes)),
 	}
+	e.scratch = make([]uint64, len(e.latches))
 	// Constants are sources: pin their values once.
 	for id, nd := range nl.nodes {
 		if nd.kind == KindConst {
-			e.vals[id] = nd.val
+			e.vals[id] = broadcast(nd.val)
 		}
 	}
 	return e, nil
@@ -232,55 +253,87 @@ func MustCompile(nl *Netlist) *Engine {
 	return e
 }
 
-// SetInput drives a primary input.
+// SetInput drives a primary input across all lanes (stimulus is common to
+// the golden lane and every fault lane).
 func (e *Engine) SetInput(id int, v bool) {
 	if e.nl.nodes[id].kind != KindInput {
 		panic(fmt.Sprintf("awan: node %d is not an input", id))
 	}
-	e.vals[id] = v
+	e.vals[id] = broadcast(v)
 }
 
-// Value reads any node's current value (combinational values are those of
-// the last Eval/Step).
-func (e *Engine) Value(id int) bool { return e.vals[id] }
+// Value reads any node's current value in lane 0, the golden lane
+// (combinational values are those of the last Eval/Step).
+func (e *Engine) Value(id int) bool { return e.vals[id]&1 != 0 }
 
-// FlipLatch injects a fault: it inverts latch id's current state.
+// Word reads any node's raw value word: bit k is the node's value in
+// lane k.
+func (e *Engine) Word(id int) uint64 { return e.vals[id] }
+
+// LaneValue reads any node's current value in one lane.
+func (e *Engine) LaneValue(id, lane int) bool { return e.vals[id]>>uint(lane)&1 != 0 }
+
+// FlipLatch injects a fault: it inverts latch id's current state in every
+// lane (the scalar path, where all lanes carry the same simulation).
 func (e *Engine) FlipLatch(id int) {
 	if e.nl.nodes[id].kind != KindLatch {
 		panic(fmt.Sprintf("awan: node %d is not a latch", id))
 	}
-	e.vals[id] = !e.vals[id]
+	e.vals[id] = ^e.vals[id]
 }
 
-// SetLatch forces latch id's state.
+// FlipLatchLanes inverts latch id's state in exactly the lanes set in mask —
+// the batched-injection port: each fault lane gets its own flip while lane 0
+// keeps the golden state.
+func (e *Engine) FlipLatchLanes(id int, mask uint64) {
+	if e.nl.nodes[id].kind != KindLatch {
+		panic(fmt.Sprintf("awan: node %d is not a latch", id))
+	}
+	e.vals[id] ^= mask
+}
+
+// SetLatch forces latch id's state in every lane.
 func (e *Engine) SetLatch(id int, v bool) {
 	if e.nl.nodes[id].kind != KindLatch {
 		panic(fmt.Sprintf("awan: node %d is not a latch", id))
 	}
-	e.vals[id] = v
+	e.vals[id] = broadcast(v)
 }
 
-// Eval runs the combinational program without clocking the latches.
+// SetLatchLanes forces latch id's state to v in exactly the lanes set in
+// mask, leaving the other lanes untouched (per-lane sticky fault forcing).
+func (e *Engine) SetLatchLanes(id int, v bool, mask uint64) {
+	if e.nl.nodes[id].kind != KindLatch {
+		panic(fmt.Sprintf("awan: node %d is not a latch", id))
+	}
+	if v {
+		e.vals[id] |= mask
+	} else {
+		e.vals[id] &^= mask
+	}
+}
+
+// Eval runs the combinational program without clocking the latches. Every
+// boolean function is a single bitwise word operation, advancing all 64
+// lanes in one pass.
 func (e *Engine) Eval() {
+	vals := e.vals
 	for _, id := range e.program {
 		nd := &e.nl.nodes[id]
 		switch nd.kind {
 		case KindAnd:
-			e.vals[id] = e.vals[nd.a] && e.vals[nd.b]
+			vals[id] = vals[nd.a] & vals[nd.b]
 		case KindOr:
-			e.vals[id] = e.vals[nd.a] || e.vals[nd.b]
+			vals[id] = vals[nd.a] | vals[nd.b]
 		case KindXor:
-			e.vals[id] = e.vals[nd.a] != e.vals[nd.b]
+			vals[id] = vals[nd.a] ^ vals[nd.b]
 		case KindNot:
-			e.vals[id] = !e.vals[nd.a]
+			vals[id] = ^vals[nd.a]
 		case KindMux:
-			if e.vals[nd.s] {
-				e.vals[id] = e.vals[nd.b]
-			} else {
-				e.vals[id] = e.vals[nd.a]
-			}
+			s := vals[nd.s]
+			vals[id] = s&vals[nd.b] | ^s&vals[nd.a]
 		case KindConst:
-			e.vals[id] = nd.val
+			vals[id] = broadcast(nd.val)
 		}
 	}
 }
@@ -289,7 +342,7 @@ func (e *Engine) Eval() {
 // clock every latch from its next-state input.
 func (e *Engine) Step() {
 	e.Eval()
-	next := make([]bool, len(e.latches))
+	next := e.scratch
 	for i, id := range e.latches {
 		next[i] = e.vals[e.nl.nodes[id].d]
 	}
@@ -303,17 +356,17 @@ func (e *Engine) Step() {
 func (e *Engine) ProgramLength() int { return len(e.program) }
 
 // Snapshot copies the full value plane (latches, inputs and combinational
-// values) — a gate-level model checkpoint. The returned slice is owned by
-// the caller and stays valid across further simulation.
-func (e *Engine) Snapshot() []bool {
-	snap := make([]bool, len(e.vals))
+// values, all lanes) — a gate-level model checkpoint. The returned slice is
+// owned by the caller and stays valid across further simulation.
+func (e *Engine) Snapshot() []uint64 {
+	snap := make([]uint64, len(e.vals))
 	copy(snap, e.vals)
 	return snap
 }
 
 // Restore overwrites the value plane from a Snapshot. The snapshot is read
 // only, so one immutable snapshot can restore many engine clones.
-func (e *Engine) Restore(snap []bool) {
+func (e *Engine) Restore(snap []uint64) {
 	if len(snap) != len(e.vals) {
 		panic(fmt.Sprintf("awan: restore snapshot of %d values into %d-node engine",
 			len(snap), len(e.vals)))
@@ -330,5 +383,6 @@ func (e *Engine) Clone() *Engine {
 		program: e.program,
 		latches: e.latches,
 		vals:    e.Snapshot(),
+		scratch: make([]uint64, len(e.latches)),
 	}
 }

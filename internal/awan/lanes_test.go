@@ -1,0 +1,136 @@
+package awan
+
+import "testing"
+
+// laneFixture builds two 8-bit held registers and their combinational sum —
+// enough structure for lane-addressed faults to propagate through gates.
+func laneFixture(t *testing.T) (e *Engine, a, b, sum Bus) {
+	t.Helper()
+	nl := NewNetlist()
+	a = nl.LatchBus("a", 8)
+	b = nl.LatchBus("b", 8)
+	for i := range a {
+		nl.SetD(a[i], a[i]) // hold
+		nl.SetD(b[i], b[i])
+	}
+	sum, _ = nl.Adder(a, b, nl.Const(false))
+	e = MustCompile(nl)
+	for i, id := range a {
+		e.SetLatch(id, 0x35>>uint(i)&1 != 0)
+	}
+	for i, id := range b {
+		e.SetLatch(id, 0x4e>>uint(i)&1 != 0)
+	}
+	e.Eval()
+	return e, a, b, sum
+}
+
+// TestScalarFacadeBroadcasts: the bool facade drives and reads whole
+// words, so scalar users keep every lane coherent.
+func TestScalarFacadeBroadcasts(t *testing.T) {
+	e, a, _, sum := laneFixture(t)
+	if got := e.BusValue(sum); got != (0x35+0x4e)&0xff {
+		t.Fatalf("sum = %#x, want %#x", got, (0x35+0x4e)&0xff)
+	}
+	for _, id := range a {
+		if w := e.Word(id); w != 0 && w != ^uint64(0) {
+			t.Fatalf("scalar-set latch has mixed lanes: %#x", w)
+		}
+	}
+	e.FlipLatch(a[0])
+	if w := e.Word(a[0]); w != broadcast(0x35&1 == 0) {
+		t.Fatalf("FlipLatch did not invert all lanes: %#x", w)
+	}
+	for lane := 0; lane < Lanes; lane++ {
+		if e.LaneValue(a[1], lane) != e.Value(a[1]) {
+			t.Fatalf("lane %d disagrees with scalar Value", lane)
+		}
+	}
+}
+
+// TestLaneFaultIsolation: a fault flipped into one lane propagates through
+// the combinational logic in that lane only; every other lane — above all
+// the golden lane 0 — computes the unfaulted result.
+func TestLaneFaultIsolation(t *testing.T) {
+	e, a, _, sum := laneFixture(t)
+	const lane = 5
+	e.FlipLatchLanes(a[1], 1<<lane) // a becomes 0x37 in lane 5 only
+	e.Eval()
+	want := uint64(0x37+0x4e) & 0xff
+	if got := e.BusValueLane(sum, lane); got != want {
+		t.Errorf("faulted lane sum = %#x, want %#x", got, want)
+	}
+	for _, l := range []int{0, 4, 6, 63} {
+		if got := e.BusValueLane(sum, l); got != (0x35+0x4e)&0xff {
+			t.Errorf("unfaulted lane %d sum = %#x", l, got)
+		}
+	}
+	if d := e.Diverged(sum); d != 1<<lane {
+		t.Errorf("Diverged = %#x, want %#x", d, uint64(1)<<lane)
+	}
+}
+
+// TestDivergedMultipleLanes: divergence detection reports exactly the
+// faulted lanes, across distinct fault sites.
+func TestDivergedMultipleLanes(t *testing.T) {
+	e, a, b, sum := laneFixture(t)
+	e.FlipLatchLanes(a[0], 1<<3)
+	e.FlipLatchLanes(b[7], 1<<17)
+	e.Eval()
+	if d := e.Diverged(sum); d != 1<<3|1<<17 {
+		t.Errorf("Diverged = %#x, want %#x", d, uint64(1<<3|1<<17))
+	}
+	if d := e.Diverged(a); d != 1<<3 {
+		t.Errorf("Diverged(a) = %#x, want %#x", d, uint64(1)<<3)
+	}
+}
+
+// TestSetLatchLanesMasking: per-lane forcing writes only the masked lanes.
+func TestSetLatchLanesMasking(t *testing.T) {
+	e, a, _, _ := laneFixture(t)
+	id := a[2] // holds 1 (0x35 bit 2)
+	e.SetLatchLanes(id, false, 1<<9|1<<30)
+	if w := e.Word(id); w != ^uint64(1<<9|1<<30) {
+		t.Fatalf("masked clear produced %#x", w)
+	}
+	e.SetLatchLanes(id, true, 1<<9)
+	if w := e.Word(id); w != ^uint64(1<<30) {
+		t.Fatalf("masked set produced %#x", w)
+	}
+}
+
+// TestSnapshotRestoreLanes: checkpoints carry the full lane plane, so a
+// restore erases per-lane faults exactly.
+func TestSnapshotRestoreLanes(t *testing.T) {
+	e, a, _, sum := laneFixture(t)
+	snap := e.Snapshot()
+	e.FlipLatchLanes(a[4], 1<<21)
+	e.Step()
+	if e.Diverged(sum) == 0 {
+		t.Fatal("fault did not propagate")
+	}
+	e.Restore(snap)
+	e.Eval()
+	if d := e.Diverged(sum); d != 0 {
+		t.Fatalf("restore left divergence %#x", d)
+	}
+	if got := e.BusValue(sum); got != (0x35+0x4e)&0xff {
+		t.Fatalf("restored sum = %#x", got)
+	}
+}
+
+// TestCloneIsolatesLanes: a clone's lane plane is independent of the
+// original's.
+func TestCloneIsolatesLanes(t *testing.T) {
+	e, a, _, sum := laneFixture(t)
+	c := e.Clone()
+	c.FlipLatchLanes(a[0], 1<<2)
+	c.Eval()
+	e.Eval()
+	if d := e.Diverged(sum); d != 0 {
+		t.Fatalf("original saw clone's fault: %#x", d)
+	}
+	if d := c.Diverged(sum); d != 1<<2 {
+		t.Fatalf("clone lost its fault: %#x", d)
+	}
+}

@@ -112,15 +112,32 @@ func (n *Netlist) ParityRegister(name string, in Bus, load int) (q Bus, par int,
 	return q, par, errOut
 }
 
-// BusValue reads a bus as an integer.
+// BusValue reads a bus as an integer in lane 0, the golden lane.
 func (e *Engine) BusValue(b Bus) uint64 {
+	return e.BusValueLane(b, 0)
+}
+
+// BusValueLane reads a bus as an integer in one simulation lane.
+func (e *Engine) BusValueLane(b Bus, lane int) uint64 {
 	var v uint64
 	for i, id := range b {
-		if e.vals[id] {
-			v |= 1 << uint(i)
-		}
+		v |= e.vals[id] >> uint(lane) & 1 << uint(i)
 	}
 	return v
+}
+
+// Diverged returns the set of lanes (as a bit mask) whose value of bus b
+// differs from lane 0's — the word-parallel divergence detector batched
+// fault simulation uses for barrier/golden comparison: a fault lane whose
+// architected results no longer match the reference lane has suffered
+// silent data corruption.
+func (e *Engine) Diverged(b Bus) uint64 {
+	var d uint64
+	for _, id := range b {
+		w := e.vals[id]
+		d |= w ^ -(w & 1) // broadcast lane 0's bit, then XOR marks differing lanes
+	}
+	return d
 }
 
 // SetInputBus drives a bus of inputs from an integer.

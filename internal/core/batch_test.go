@@ -1,0 +1,223 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"sfi/internal/engine"
+	_ "sfi/internal/engine/awan"
+)
+
+// awanCampaignConfig returns a small gate-level campaign whose sampled
+// population exercises every register class of the checked-ALU design.
+func awanCampaignConfig() CampaignConfig {
+	c := DefaultCampaignConfig()
+	c.Runner.Backend = "awan"
+	c.Runner.Awan.Width = 8
+	c.Runner.Awan.Lanes = 6 // population: 6 × (3·8 + 2) = 156 bits
+	c.Seed = 7
+	c.Flips = 120
+	c.Workers = 4
+	return c
+}
+
+// reportDump renders a report for byte-for-byte comparison: the stable
+// wire JSON plus every kept Result verbatim (the wire format elides
+// vanished injections, the dump must not).
+func reportDump(t *testing.T, rep *Report) string {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("workers=%d wire=%s results=%+v", rep.Workers, b, rep.Results)
+}
+
+// TestBatchScalarEquivalence is the tentpole's correctness gate: the same
+// (seed, flips, filter) campaign run through the bit-parallel batch path
+// and the scalar path must produce byte-identical Reports, for toggle,
+// sticky (bounded and permanent) and multi-bit-span injections.
+func TestBatchScalarEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*CampaignConfig)
+	}{
+		{"toggle", func(c *CampaignConfig) {}},
+		{"sticky", func(c *CampaignConfig) {
+			c.Runner.Mode = engine.Sticky
+			c.Runner.StickyCycles = 9
+		}},
+		{"sticky-permanent", func(c *CampaignConfig) {
+			c.Runner.Mode = engine.Sticky
+			c.Runner.StickyCycles = 0
+		}},
+		{"span3", func(c *CampaignConfig) { c.Runner.SpanBits = 3 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batchCfg := awanCampaignConfig()
+			tc.mutate(&batchCfg)
+			scalarCfg := batchCfg
+			scalarCfg.Runner.BatchLanes = 1
+
+			batchRep, err := RunCampaign(batchCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalarRep, err := RunCampaign(scalarCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bj, sj := reportDump(t, batchRep), reportDump(t, scalarRep); bj != sj {
+				t.Errorf("batch and scalar reports differ\nbatch:  %s\nscalar: %s", bj, sj)
+			}
+		})
+	}
+}
+
+// TestBatchDeterministicAcrossWorkers: the batch plan is a pure function
+// of the sample, so worker count must not change any per-injection result.
+func TestBatchDeterministicAcrossWorkers(t *testing.T) {
+	base := awanCampaignConfig()
+	var reps []*Report
+	for _, w := range []int{1, 4} {
+		cfg := base
+		cfg.Workers = w
+		rep, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Workers = 0 // the only field legitimately tied to worker count
+		reps = append(reps, rep)
+	}
+	if a, b := reportDump(t, reps[0]), reportDump(t, reps[1]); a != b {
+		t.Errorf("batch campaign differs across worker counts\n1 worker:  %s\n4 workers: %s", a, b)
+	}
+}
+
+// TestOneFlipBatchPath is the short-final-batch regression: a 1-flip
+// campaign on the batch path runs a single 1-lane pass (all other lanes
+// masked off) and must classify exactly like the scalar path.
+func TestOneFlipBatchPath(t *testing.T) {
+	cfg := awanCampaignConfig()
+	cfg.Flips = 1
+	cfg.Workers = 1
+	cfg.Obs.Metrics = true
+
+	batchRep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchRep.Metrics == nil || batchRep.Metrics.Batches != 1 {
+		t.Fatalf("1-flip campaign should run exactly one batched pass, metrics: %+v", batchRep.Metrics)
+	}
+	if occ := batchRep.Metrics.LaneOccupancy; occ.Count != 1 || occ.Sum != 1 {
+		t.Errorf("lane occupancy should record one 1-lane pass, got count=%d sum=%d", occ.Count, occ.Sum)
+	}
+
+	scalarCfg := cfg
+	scalarCfg.Obs.Metrics = false
+	scalarCfg.Runner.BatchLanes = 1
+	scalarRep, err := RunCampaign(scalarCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRep.Metrics = nil // batching legitimately changes restore/batch metrics
+	if bj, sj := reportDump(t, batchRep), reportDump(t, scalarRep); bj != sj {
+		t.Errorf("1-flip batch report differs from scalar\nbatch:  %s\nscalar: %s", bj, sj)
+	}
+}
+
+// TestBatchLaneOccupancyMetrics: a batched campaign reports its pass count
+// and per-pass occupancy, and occupancy totals the injection count.
+func TestBatchLaneOccupancyMetrics(t *testing.T) {
+	cfg := awanCampaignConfig()
+	cfg.Obs.Metrics = true
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if m == nil || m.Batches == 0 {
+		t.Fatalf("batched campaign recorded no batches: %+v", m)
+	}
+	if m.LaneOccupancy.Count != m.Batches {
+		t.Errorf("occupancy count %d != batches %d", m.LaneOccupancy.Count, m.Batches)
+	}
+	if m.LaneOccupancy.Sum != uint64(cfg.Flips) {
+		t.Errorf("occupancy sum %d != flips %d", m.LaneOccupancy.Sum, cfg.Flips)
+	}
+	// Grouping by the 8 checkpoint phases bounds the pass count well below
+	// one-pass-per-injection — the whole point of batching.
+	if int(m.Batches) >= cfg.Flips/2 {
+		t.Errorf("batching ineffective: %d batches for %d flips", m.Batches, cfg.Flips)
+	}
+}
+
+// TestPlanBatches: the plan partitions every sample position, respects the
+// size bound, and groups only positions sharing a checkpoint phase.
+func TestPlanBatches(t *testing.T) {
+	bits := make([]int, 100)
+	for i := range bits {
+		bits[i] = 3*i + 1
+	}
+	const phases, size = 8, 7
+	batches := planBatches(bits, phases, size)
+	seen := make(map[int]bool)
+	for _, b := range batches {
+		if len(b) == 0 || len(b) > size {
+			t.Fatalf("batch size %d out of (0,%d]", len(b), size)
+		}
+		ck0, _ := injectionSchedule(bits[b[0]], phases)
+		for _, pos := range b {
+			if seen[pos] {
+				t.Fatalf("position %d planned twice", pos)
+			}
+			seen[pos] = true
+			if ck, _ := injectionSchedule(bits[pos], phases); ck != ck0 {
+				t.Fatalf("batch mixes phases %d and %d", ck0, ck)
+			}
+		}
+	}
+	if len(seen) != len(bits) {
+		t.Fatalf("planned %d of %d positions", len(seen), len(bits))
+	}
+
+	// Scalar fallback: every position is its own batch, in sample order.
+	scalar := planBatches(bits, phases, 1)
+	if len(scalar) != len(bits) {
+		t.Fatalf("scalar plan has %d batches for %d bits", len(scalar), len(bits))
+	}
+	for i, b := range scalar {
+		if len(b) != 1 || b[0] != i {
+			t.Fatalf("scalar batch %d = %v", i, b)
+		}
+	}
+}
+
+// TestBatchSizeConfig: BatchLanes narrows the fault-lane budget, 1
+// disables batching, 0 and out-of-range values mean the backend maximum.
+func TestBatchSizeConfig(t *testing.T) {
+	for _, tc := range []struct{ lanes, want int }{
+		{0, 63}, {1, 0}, {16, 15}, {64, 63}, {200, 63},
+	} {
+		cfg := awanCampaignConfig().Runner
+		cfg.BatchLanes = tc.lanes
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.BatchSize(); got != tc.want {
+			t.Errorf("BatchLanes=%d: BatchSize=%d, want %d", tc.lanes, got, tc.want)
+		}
+	}
+	// Scalar backends have no batch capability at all.
+	r, err := NewRunner(fastRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.BatchSize(); got != 0 {
+		t.Errorf("p6lite BatchSize=%d, want 0", got)
+	}
+}

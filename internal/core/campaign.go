@@ -310,6 +310,40 @@ func (p Progress) Line() string {
 	return line
 }
 
+// planBatches groups the sample positions (indices into bits) into the
+// campaign's dispatch units: positions sharing a deterministic checkpoint
+// phase are chunked, in sample order, into batches of at most size. The
+// plan involves no scheduling or process-local state — it is a pure
+// function of (bits, phases, size) — so disjoint shards of one campaign
+// plan exactly the batches a whole-campaign run would, and a short final
+// batch per phase group simply leaves the backend's extra lanes masked
+// off. size <= 1 yields one-position batches (the scalar dispatch).
+func planBatches(bits []int, phases, size int) [][]int {
+	if size <= 1 {
+		out := make([][]int, len(bits))
+		for i := range bits {
+			out[i] = []int{i}
+		}
+		return out
+	}
+	byPhase := make([][]int, phases)
+	for i, bit := range bits {
+		ck, _ := injectionSchedule(bit, phases)
+		byPhase[ck] = append(byPhase[ck], i)
+	}
+	var out [][]int
+	for _, g := range byPhase {
+		for len(g) > size {
+			out = append(out, g[:size:size])
+			g = g[size:]
+		}
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
 // SampleCampaignBits draws the campaign's full deterministic injection
 // sample from db: the Flips logical latch-bit indices, in dispatch order.
 // The sample is a pure function of (seed, flips, filter) and the latch
@@ -379,12 +413,27 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 		}
 		bits = bits[s.Lo:s.Hi]
 	}
+	// Batch planning: a bit-parallel backend (engine.BatchBackend)
+	// classifies up to BatchSize injections per model pass, so the unit of
+	// dispatch is a batch of sample positions rather than one position.
+	// The plan is a pure function of the bit sample (grouping by each
+	// bit's deterministic checkpoint phase), so Reports stay identical
+	// across worker counts — and, by the scalar-equivalence guarantee,
+	// identical to the scalar path bit for bit. Scalar backends get
+	// one-position batches and the original per-injection dispatch.
+	batchSize := first.BatchSize()
+	batched := batchSize > 1
+	if !batched {
+		batchSize = 1
+	}
+	batches := planBatches(bits, first.Backend().Phases(), batchSize)
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(bits) {
-		workers = len(bits)
+	if workers > len(batches) {
+		workers = len(batches)
 	}
 
 	// Observability: each worker records into its own collector (no shared
@@ -423,8 +472,19 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 
 	worker := func(r *Runner) {
 		defer wg.Done()
-		for i := range next {
-			results[i] = r.RunInjection(bits[i])
+		for bi := range next {
+			batch := batches[bi]
+			if !batched {
+				results[batch[0]] = r.RunInjection(bits[batch[0]])
+				continue
+			}
+			group := make([]int, len(batch))
+			for j, pos := range batch {
+				group[j] = bits[pos]
+			}
+			for j, res := range r.RunInjectionBatch(group) {
+				results[batch[j]] = res
+			}
 		}
 	}
 
@@ -457,10 +517,26 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 		}()
 	}
 
-	go worker(first)
+	// Worker start order: Clone reads the prototype's live model state
+	// (value planes, counters), so the prototype may not start injecting
+	// until every extra worker has finished cloning from it. Clones are
+	// still taken concurrently with each other — they only read the
+	// prototype — and the NoClone path builds from scratch without touching
+	// it, so only the cloning path gates the prototype's start.
+	var cloning sync.WaitGroup
+	if !cfg.NoClone {
+		cloning.Add(workers - 1)
+	}
+	go func() {
+		cloning.Wait()
+		worker(first)
+	}()
 	for w := 1; w < workers; w++ {
 		go func() {
 			r, err := newWorkerRunner(first, cfg)
+			if !cfg.NoClone {
+				cloning.Done()
+			}
 			if err != nil {
 				errCh <- fmt.Errorf("core: worker %d failed to start: %w", w, err)
 				wg.Done()
@@ -476,7 +552,7 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 	// draining the whole campaign.
 	var errs []error
 dispatch:
-	for i := range bits {
+	for i := range batches {
 		select {
 		case e := <-errCh:
 			errs = append(errs, e)

@@ -99,12 +99,57 @@ func (r *Runner) Clone() *Runner {
 // independent of worker scheduling.
 func splitmix64(x uint64) uint64 { return engine.Splitmix64(x) }
 
+// injectionSchedule derives one sampled bit's deterministic injection
+// instant: the phased checkpoint to reload and the sub-workload phase
+// jitter (in cycles) before the flip. Both the scalar path and the batch
+// planner/dispatcher derive from this single function, which is what keeps
+// their classifications identical.
+func injectionSchedule(bit, phases int) (ckIdx, delay int) {
+	h := splitmix64(uint64(bit))
+	return int(h % uint64(phases)), int((h >> 16) % 197)
+}
+
+// classify folds one injection's observations — run stats, machine
+// verdict, barrier divergence, injection cycle — into a classified Result.
+// It is the single classification point shared by the scalar and the
+// batched path.
+func (r *Runner) classify(bit int, st engine.RunStats, v engine.Verdict, sdc bool, injectCycle uint64) Result {
+	g, entry, bie := r.be.DB().Locate(bit)
+	res := Result{
+		Bit:        bit,
+		Group:      g.Name,
+		Unit:       g.Unit,
+		LatchType:  g.Kind,
+		Entry:      entry,
+		BitInEntry: bie,
+	}
+	res.Cycles = st.Cycles
+	res.TestEnds = st.Barriers
+	res.Recoveries = v.Recoveries
+	if v.Detected {
+		res.Detected = true
+		res.FirstChecker = v.FirstChecker
+		res.DetectLatency = v.DetectCycle - injectCycle
+	}
+	switch {
+	case v.Checkstop:
+		res.Outcome = Checkstop
+	case st.Hang || st.NoProgress:
+		res.Outcome = Hang
+	case sdc:
+		res.Outcome = SDC
+	case res.Recoveries > 0 || v.Corrected:
+		res.Outcome = Corrected
+	default:
+		res.Outcome = Vanished
+	}
+	return res
+}
+
 // RunInjection reloads a phase-determined checkpoint, injects a single bit
 // flip and observes the machine, returning the classified result.
 func (r *Runner) RunInjection(bit int) Result {
-	h := splitmix64(uint64(bit))
-	ckIdx := int(h % uint64(r.be.Phases()))
-	delay := int((h >> 16) % 197) // sub-workload phase jitter, in cycles
+	ckIdx, delay := injectionSchedule(bit, r.be.Phases())
 
 	// Observability is off (nil) by default; the instrumented path times
 	// the restore and propagation phases for metrics and trace events.
@@ -120,16 +165,6 @@ func (r *Runner) RunInjection(bit int) Result {
 	}
 	for i := 0; i < delay; i++ {
 		r.be.Step()
-	}
-
-	g, entry, bie := r.be.DB().Locate(bit)
-	res := Result{
-		Bit:        bit,
-		Group:      g.Name,
-		Unit:       g.Unit,
-		LatchType:  g.Kind,
-		Entry:      entry,
-		BitInEntry: bie,
 	}
 
 	injectCycle := r.be.Cycle()
@@ -168,29 +203,7 @@ func (r *Runner) RunInjection(bit int) Result {
 	if observed {
 		propagateNs = time.Since(p0).Nanoseconds()
 	}
-	res.Cycles = run.Cycles
-	res.TestEnds = run.Barriers
-
-	v := r.be.Verdict()
-	res.Recoveries = v.Recoveries
-	if v.Detected {
-		res.Detected = true
-		res.FirstChecker = v.FirstChecker
-		res.DetectLatency = v.DetectCycle - injectCycle
-	}
-
-	switch {
-	case v.Checkstop:
-		res.Outcome = Checkstop
-	case run.Hang || run.NoProgress:
-		res.Outcome = Hang
-	case sdc:
-		res.Outcome = SDC
-	case res.Recoveries > 0 || v.Corrected:
-		res.Outcome = Corrected
-	default:
-		res.Outcome = Vanished
-	}
+	res := r.classify(bit, run, r.be.Verdict(), sdc, injectCycle)
 
 	if r.obs != nil {
 		r.obs.ObserveInjection(uint64(time.Since(t0).Nanoseconds()))
@@ -221,4 +234,93 @@ func (r *Runner) RunInjection(bit int) Result {
 		})
 	}
 	return res
+}
+
+// BatchSize returns how many injections the runner can classify per
+// bit-parallel backend pass; anything below 2 means the runner is scalar
+// (either the backend has no lanes or BatchLanes forced them off).
+func (r *Runner) BatchSize() int {
+	if bb, ok := r.be.(engine.BatchBackend); ok {
+		return bb.MaxBatch()
+	}
+	return 0
+}
+
+// RunInjectionBatch classifies a group of sampled bits in one bit-parallel
+// backend pass: the shared phased checkpoint is restored once, every bit
+// gets its own fault lane, and per-bit Results are identical to running
+// each bit through RunInjection. All bits must share one checkpoint phase
+// (the campaign's batch planner groups them) and the group must fit the
+// backend's MaxBatch.
+func (r *Runner) RunInjectionBatch(bits []int) []Result {
+	bb := r.be.(engine.BatchBackend)
+	phases := r.be.Phases()
+	ckIdx := -1
+	injs := make([]engine.BatchInjection, len(bits))
+	for i, bit := range bits {
+		ck, delay := injectionSchedule(bit, phases)
+		if ckIdx < 0 {
+			ckIdx = ck
+		} else if ck != ckIdx {
+			panic("core: batch mixes checkpoint phases")
+		}
+		injs[i] = engine.BatchInjection{
+			Inj: engine.Injection{
+				Bit: bit, Mode: r.cfg.Mode, Duration: r.cfg.StickyCycles,
+				Span: r.cfg.SpanBits,
+			},
+			Delay: delay,
+		}
+	}
+
+	observed := r.obs != nil || r.trace != nil
+	var t0 time.Time
+	if observed {
+		t0 = time.Now()
+	}
+	brs, err := bb.RunBatch(ckIdx, injs, r.cfg.Window, r.cfg.QuiesceExit)
+	if err != nil {
+		panic(err) // bits come from the database's own sampling
+	}
+	// The pass's wall time is shared work: attribute an equal share to
+	// each injection so rate and busy metrics stay comparable with the
+	// scalar path.
+	var shareNs uint64
+	if observed {
+		shareNs = uint64(time.Since(t0).Nanoseconds()) / uint64(len(bits))
+	}
+	r.obs.ObserveBatch(uint64(len(bits)))
+
+	out := make([]Result, len(bits))
+	for i, br := range brs {
+		res := r.classify(bits[i], br.Stats, br.Verdict, br.SDC, br.InjectCycle)
+		out[i] = res
+		if r.obs != nil {
+			r.obs.ObserveInjection(shareNs)
+			r.obs.IncOutcome(int(res.Outcome), res.Unit, res.LatchType.String())
+			if res.Detected {
+				r.obs.ObserveDetect(res.DetectLatency)
+			}
+		}
+		if r.trace != nil {
+			r.trace.Record(&obs.TraceEvent{
+				TS:            t0.UnixNano(),
+				Bit:           res.Bit,
+				Group:         res.Group,
+				Unit:          res.Unit,
+				LatchType:     res.LatchType.String(),
+				Checkpoint:    ckIdx,
+				DelayCycles:   injs[i].Delay,
+				PropagateNs:   int64(shareNs),
+				Cycles:        res.Cycles,
+				TestEnds:      res.TestEnds,
+				Outcome:       res.Outcome.String(),
+				Detected:      res.Detected,
+				FirstChecker:  res.FirstChecker,
+				DetectLatency: res.DetectLatency,
+				Recoveries:    res.Recoveries,
+			})
+		}
+	}
+	return out
 }

@@ -122,6 +122,57 @@ func TestAwanLoopbackEquivalence(t *testing.T) {
 	}
 }
 
+// TestAwanDistBatchScalarEquivalence: a 4-worker distributed awan
+// campaign — whose shards each run the bit-parallel batch path — must
+// reproduce the scalar (BatchLanes=1) single-process run bit for bit.
+// Shards slice the sample before batches are planned, so this also pins
+// down that batch composition cannot leak into per-injection results.
+func TestAwanDistBatchScalarEquivalence(t *testing.T) {
+	spec := awanSpec()
+	c, srv := startCoord(t, CoordConfig{Campaign: spec, ShardSize: 12})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	workerErr := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			workerErr <- RunWorker(ctx, WorkerConfig{
+				Coordinator: srv.URL,
+				ID:          fmt.Sprintf("w%d", i),
+				PollEvery:   20 * time.Millisecond,
+			})
+		}(i)
+	}
+	got, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-workerErr; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+
+	scalarSpec := spec
+	scalarSpec.Runner.BatchLanes = 1
+	ccfg, err := scalarSpec.CampaignConfig(core.ShardRange{Lo: 0, Hi: spec.Flips})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg.Workers = 2
+	want, err := core.RunCampaign(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got.Counts, want.Counts) {
+		t.Errorf("outcome counts differ:\ndist/batch: %v\nscalar:     %v", got.Counts, want.Counts)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Errorf("per-injection results differ between distributed batch and scalar runs")
+	}
+}
+
 // TestWireReportRoundTripBothBackends: for each backend, a real campaign
 // report must survive the wire encoding (EncodeReport → JSON → WireReport
 // → Report → re-encode) with byte-identical JSON — the property shard

@@ -44,9 +44,12 @@ const phases = 8
 // every register with live workload data.
 const warmOps = 4
 
-// gateCkpt is a gate-level model snapshot plus workload tracking.
+// gateCkpt is a gate-level model snapshot plus workload tracking. The
+// value plane is the engine's full 64-lane word plane; checkpoints are
+// captured from a clean (fault-free) machine, so every lane of a restored
+// plane starts bit-identical to the golden lane.
 type gateCkpt struct {
-	vals    []bool
+	vals    []uint64
 	op      int
 	opCycle int
 	cycle   uint64
@@ -204,11 +207,11 @@ func (b *Backend) TakeCheckpoint() engine.Checkpoint { return b.snapshot() }
 // Reload restores a TakeCheckpoint snapshot.
 func (b *Backend) Reload(ck engine.Checkpoint) { b.restore(ck.(gateCkpt)) }
 
-// Step clocks one machine cycle: drive the stimulus for the current
-// workload position, evaluate and clock the netlist, maintain any sticky
-// force, and poll the error outputs. Operation boundaries are barriers.
-func (b *Backend) Step() engine.Event {
-	var ev engine.Event
+// stepStim drives the stimulus for the current workload position and
+// clocks the netlist, advancing the workload tracking — the lane-neutral
+// core of Step, shared with the bit-parallel RunBatch loop. It reports
+// whether the cycle retired an operation (a verification barrier).
+func (b *Backend) stepStim() (barrier bool) {
 	if b.opCycle == 0 {
 		for l, alu := range b.alus {
 			b.eng.SetInputBus(alu.InA, b.operand(b.op, l, 0))
@@ -227,9 +230,18 @@ func (b *Backend) Step() engine.Event {
 		}
 		b.op++
 		b.opCycle = 0
-		ev.Barrier = true
+		barrier = true
 	}
 	b.cycle++
+	return barrier
+}
+
+// Step clocks one machine cycle: drive the stimulus for the current
+// workload position, evaluate and clock the netlist, maintain any sticky
+// force, and poll the error outputs. Operation boundaries are barriers.
+func (b *Backend) Step() engine.Event {
+	var ev engine.Event
+	ev.Barrier = b.stepStim()
 	if b.stickyOn {
 		if b.stickyUntil != 0 && b.cycle >= b.stickyUntil {
 			b.stickyOn = false

@@ -1,0 +1,170 @@
+package awan
+
+import (
+	"reflect"
+	"testing"
+
+	"sfi/internal/engine"
+)
+
+// scalarReplay runs one injection through the scalar Backend protocol
+// exactly as core.Runner does — reload, delay, inject, run with the
+// quiesce barrier callback — and packs the observations the way RunBatch
+// reports them.
+func scalarReplay(b *Backend, inj engine.BatchInjection, phase, window, quiesce int) engine.BatchResult {
+	b.ReloadPhase(phase)
+	for i := 0; i < inj.Delay; i++ {
+		b.Step()
+	}
+	injectCycle := b.Cycle()
+	if err := b.Inject(inj.Inj); err != nil {
+		panic(err)
+	}
+	sdc := false
+	clean := 0
+	st := b.Run(window, func() bool {
+		chk := b.CheckBarrier()
+		if !chk.StateOK {
+			sdc = true
+			return false
+		}
+		clean++
+		return quiesce == 0 || clean < quiesce
+	})
+	return engine.BatchResult{Stats: st, Verdict: b.Verdict(), SDC: sdc, InjectCycle: injectCycle}
+}
+
+// schedule mirrors the campaign's deterministic per-bit injection instant.
+func schedule(bit, phases int) (ck, delay int) {
+	h := engine.Splitmix64(uint64(bit))
+	return int(h % uint64(phases)), int((h >> 16) % 197)
+}
+
+// phaseBatches groups every injectable bit of the test design by its
+// checkpoint phase, keeping up to lanesPer bits per phase.
+func phaseBatches(b *Backend, lanesPer int) map[int][]engine.BatchInjection {
+	out := make(map[int][]engine.BatchInjection)
+	for bit := 0; bit < b.DB().TotalBits(); bit++ {
+		ck, delay := schedule(bit, b.Phases())
+		if len(out[ck]) >= lanesPer {
+			continue
+		}
+		out[ck] = append(out[ck], engine.BatchInjection{
+			Inj:   engine.Injection{Bit: bit, Mode: engine.Toggle},
+			Delay: delay,
+		})
+	}
+	return out
+}
+
+// TestRunBatchMatchesScalarProtocol is the lane-vs-scalar equivalence at
+// the backend seam: every per-lane BatchResult must equal the scalar
+// protocol's observations for the same injection, across toggle, sticky
+// and multi-bit-span faults.
+func TestRunBatchMatchesScalarProtocol(t *testing.T) {
+	const window, quiesce = 50_000, 2
+	mutations := []struct {
+		name   string
+		mutate func(*engine.Injection)
+	}{
+		{"toggle", func(*engine.Injection) {}},
+		{"sticky", func(inj *engine.Injection) { inj.Mode = engine.Sticky; inj.Duration = 7 }},
+		{"span2", func(inj *engine.Injection) { inj.Span = 2 }},
+	}
+	for _, mu := range mutations {
+		t.Run(mu.name, func(t *testing.T) {
+			batchBE := newBackend(t)
+			scalarBE := newBackend(t)
+			for phase, injs := range phaseBatches(batchBE, 8) {
+				for i := range injs {
+					mu.mutate(&injs[i].Inj)
+				}
+				got, err := batchBE.RunBatch(phase, injs, window, quiesce)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, inj := range injs {
+					want := scalarReplay(scalarBE, inj, phase, window, quiesce)
+					if !reflect.DeepEqual(got[i], want) {
+						t.Errorf("phase %d bit %d: batch %+v != scalar %+v",
+							phase, inj.Inj.Bit, got[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunBatchDeterministicReplay: the same batch on the same backend
+// must reproduce identical results — RunBatch leaves no residue.
+func TestRunBatchDeterministicReplay(t *testing.T) {
+	b := newBackend(t)
+	for phase, injs := range phaseBatches(b, 6) {
+		first, err := b.RunBatch(phase, injs, 50_000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := b.RunBatch(phase, injs, 50_000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("phase %d replay differs:\n%+v\n%+v", phase, first, again)
+		}
+	}
+}
+
+// TestRunBatchValidation: oversize batches and out-of-range bits are
+// rejected; an empty batch is a no-op.
+func TestRunBatchValidation(t *testing.T) {
+	b := newBackend(t)
+	if res, err := b.RunBatch(0, nil, 100, 2); err != nil || res != nil {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+	over := make([]engine.BatchInjection, b.MaxBatch()+1)
+	if _, err := b.RunBatch(0, over, 100, 2); err == nil {
+		t.Error("oversize batch not rejected")
+	}
+	bad := []engine.BatchInjection{{Inj: engine.Injection{Bit: b.DB().TotalBits()}}}
+	if _, err := b.RunBatch(0, bad, 100, 2); err == nil {
+		t.Error("out-of-range bit not rejected")
+	}
+}
+
+// TestMaxBatchHonorsConfig: BatchLanes narrows the per-pass budget
+// including the golden lane.
+func TestMaxBatchHonorsConfig(t *testing.T) {
+	for _, tc := range []struct{ lanes, want int }{
+		{0, 63}, {1, 0}, {2, 1}, {32, 31}, {64, 63}, {100, 63},
+	} {
+		cfg := testConfig()
+		cfg.BatchLanes = tc.lanes
+		be, err := engine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := be.(*Backend).MaxBatch(); got != tc.want {
+			t.Errorf("BatchLanes=%d: MaxBatch=%d, want %d", tc.lanes, got, tc.want)
+		}
+	}
+}
+
+// TestRunBatchOnClone: warm clones share checkpoints immutably, so a
+// clone's batched pass matches the prototype's.
+func TestRunBatchOnClone(t *testing.T) {
+	proto := newBackend(t)
+	clone := proto.Clone().(*Backend)
+	for phase, injs := range phaseBatches(proto, 4) {
+		a, err := proto.RunBatch(phase, injs, 50_000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := clone.RunBatch(phase, injs, 50_000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("phase %d: clone batch differs", phase)
+		}
+	}
+}

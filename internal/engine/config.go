@@ -43,6 +43,13 @@ type Config struct {
 	// SpanBits adjacent latch bits (clipped at the population edge).
 	SpanBits int
 
+	// BatchLanes bounds the simulation-lane word width a batch-capable
+	// backend (BatchBackend) uses per pass, including the golden lane:
+	// 64 packs 63 faults per model evaluation, 1 forces the scalar
+	// one-injection-per-pass path, 0 means the backend's maximum (64).
+	// Scalar backends ignore it.
+	BatchLanes int `json:",omitempty"`
+
 	// Awan parameterizes the gate-level "awan" backend; other backends
 	// ignore it.
 	Awan AwanConfig `json:",omitempty"`

@@ -142,11 +142,62 @@ type Backend interface {
 
 	// Clone duplicates a warmed backend without re-running warm-up,
 	// sharing only immutable state (checkpoints, programs) so clones run
-	// injections concurrently.
+	// injections concurrently. Cloning may read the source's live model
+	// state, so it must happen while the source is quiescent — concurrent
+	// clones of one idle prototype are fine, cloning a backend that is
+	// mid-run is not (campaign fan-out holds the prototype until every
+	// worker has cloned).
 	Clone() Backend
 
 	// SetObs attaches a metrics collector (nil detaches, the default).
 	SetObs(m *obs.Metrics)
+}
+
+// BatchInjection is one fault lane of a batched pass: the injection itself
+// plus the per-lane phase-jitter delay (cycles after the checkpoint reload
+// at which the flip is applied).
+type BatchInjection struct {
+	Inj   Injection
+	Delay int
+}
+
+// BatchResult is one fault lane's outcome from RunBatch, carrying exactly
+// the observations the scalar protocol extracts per injection: the run
+// stats, the post-run machine verdict, whether the lane's architected
+// state diverged from golden at a barrier (SDC), and the cycle the fault
+// was applied at (for detection-latency computation).
+type BatchResult struct {
+	Stats       RunStats
+	Verdict     Verdict
+	SDC         bool
+	InjectCycle uint64
+}
+
+// BatchBackend is the optional bit-parallel extension of Backend: a model
+// whose value plane carries many independent simulation lanes in lockstep,
+// so one combinational evaluation advances a whole batch of injections —
+// classic parallel-pattern fault simulation. Scalar backends simply don't
+// implement it; campaign workers detect it dynamically and fall back to
+// per-injection Run otherwise. Per-lane classification must be
+// semantically identical to running each injection through the scalar
+// protocol (the equivalence is test- and CI-gated).
+type BatchBackend interface {
+	Backend
+
+	// MaxBatch returns the number of independent fault lanes one RunBatch
+	// pass can carry (the word width minus the golden lane). 0 disables
+	// batching.
+	MaxBatch() int
+
+	// RunBatch restores phased checkpoint p once, then runs every given
+	// injection in its own fault lane against the shared golden lane:
+	// lane k's fault is applied after injs[k].Delay cycles, and each lane
+	// independently observes the scalar protocol's stopping rules —
+	// divergence at a barrier (SDC), checker detection (checkstop),
+	// quiesce consecutive clean barriers, or the window expiring. Lanes
+	// beyond len(injs) stay masked off (identical to golden), so a short
+	// final batch cannot skew classification.
+	RunBatch(p int, injs []BatchInjection, window, quiesce int) ([]BatchResult, error)
 }
 
 // Splitmix64 is the shared per-bit hash: it deterministically assigns each

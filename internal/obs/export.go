@@ -42,6 +42,7 @@ func (s *Snapshot) WritePrometheus(w io.Writer, prefix string) error {
 	counter("restores_total", s.Restores)
 	counter("cycles_total", s.Cycles)
 	counter("busy_ns_total", s.BusyNs)
+	counter("batches_total", s.Batches)
 
 	p("# TYPE %s_outcome_total counter\n", prefix)
 	for _, o := range sortedKeys(s.Outcomes) {
@@ -70,6 +71,7 @@ func (s *Snapshot) WritePrometheus(w io.Writer, prefix string) error {
 		{"restore_ns", s.RestoreNs},
 		{"propagate_cycles", s.PropagateCycles},
 		{"detect_cycles", s.DetectCycles},
+		{"lane_occupancy", s.LaneOccupancy},
 	}
 	for _, h := range hists {
 		if err == nil {

@@ -26,6 +26,7 @@ type Metrics struct {
 	restores   atomic.Uint64
 	cycles     atomic.Uint64 // cycles clocked during observed propagation windows
 	busyNs     atomic.Uint64 // wall nanoseconds spent inside RunInjection
+	batches    atomic.Uint64 // bit-parallel batched passes completed
 
 	outcomes []atomic.Uint64 // index = outcome code
 	byUnit   sync.Map        // unit name -> *[]atomic.Uint64 (len = len(outcomes))
@@ -35,6 +36,7 @@ type Metrics struct {
 	restoreNs       Hist // checkpoint-restore latency, ns (timed in proc)
 	propagateCycles Hist // cycles per observed propagation window
 	detectCycles    Hist // cycles from flip to first checker detection
+	laneOccupancy   Hist // injections carried per batched pass
 }
 
 // New builds a Metrics collector. outcomeNames maps outcome codes to their
@@ -94,6 +96,17 @@ func (m *Metrics) ObserveRun(cycles uint64) {
 	m.propagateCycles.Observe(cycles)
 }
 
+// ObserveBatch records one completed bit-parallel batched pass and the
+// number of fault lanes it carried — batch efficiency shows up as the
+// lane-occupancy histogram staying near the backend's lane capacity.
+func (m *Metrics) ObserveBatch(lanes uint64) {
+	if m == nil {
+		return
+	}
+	m.batches.Add(1)
+	m.laneOccupancy.Observe(lanes)
+}
+
 // ObserveDetect records a cycles-to-first-detection latency.
 func (m *Metrics) ObserveDetect(cycles uint64) {
 	if m == nil {
@@ -137,6 +150,7 @@ func (m *Metrics) Snapshot() *Snapshot {
 	s.Restores = m.restores.Load()
 	s.Cycles = m.cycles.Load()
 	s.BusyNs = m.busyNs.Load()
+	s.Batches = m.batches.Load()
 	for code := range m.outcomes {
 		if n := m.outcomes[code].Load(); n > 0 {
 			s.Outcomes[m.outcomeName(code)] = n
@@ -163,6 +177,7 @@ func (m *Metrics) Snapshot() *Snapshot {
 	s.RestoreNs = m.restoreNs.Snapshot()
 	s.PropagateCycles = m.propagateCycles.Snapshot()
 	s.DetectCycles = m.detectCycles.Snapshot()
+	s.LaneOccupancy = m.laneOccupancy.Snapshot()
 	return s
 }
 
@@ -173,6 +188,7 @@ type Snapshot struct {
 	Restores   uint64 `json:"restores"`
 	Cycles     uint64 `json:"cycles"`
 	BusyNs     uint64 `json:"busy_ns"`
+	Batches    uint64 `json:"batches"`
 
 	Outcomes map[string]uint64            `json:"outcomes"`
 	ByUnit   map[string]map[string]uint64 `json:"by_unit,omitempty"`
@@ -182,6 +198,7 @@ type Snapshot struct {
 	RestoreNs       HistSnapshot `json:"restore_ns"`
 	PropagateCycles HistSnapshot `json:"propagate_cycles"`
 	DetectCycles    HistSnapshot `json:"detect_cycles"`
+	LaneOccupancy   HistSnapshot `json:"lane_occupancy"`
 }
 
 // NewSnapshot returns an empty snapshot with its maps allocated.
@@ -203,6 +220,7 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	s.Restores += o.Restores
 	s.Cycles += o.Cycles
 	s.BusyNs += o.BusyNs
+	s.Batches += o.Batches
 	mergeCounts := func(dst, src map[string]uint64) map[string]uint64 {
 		if len(src) == 0 {
 			return dst
@@ -232,6 +250,7 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	s.RestoreNs.Merge(o.RestoreNs)
 	s.PropagateCycles.Merge(o.PropagateCycles)
 	s.DetectCycles.Merge(o.DetectCycles)
+	s.LaneOccupancy.Merge(o.LaneOccupancy)
 }
 
 // Clone returns an independent deep copy of the snapshot.
@@ -260,6 +279,7 @@ func (s *Snapshot) Sub(prev *Snapshot) *Snapshot {
 	d.Restores = sub64(s.Restores, prev.Restores)
 	d.Cycles = sub64(s.Cycles, prev.Cycles)
 	d.BusyNs = sub64(s.BusyNs, prev.BusyNs)
+	d.Batches = sub64(s.Batches, prev.Batches)
 	subCounts := func(cur, old map[string]uint64) map[string]uint64 {
 		out := make(map[string]uint64)
 		for k, v := range cur {
@@ -283,6 +303,7 @@ func (s *Snapshot) Sub(prev *Snapshot) *Snapshot {
 	d.RestoreNs = s.RestoreNs.Sub(prev.RestoreNs)
 	d.PropagateCycles = s.PropagateCycles.Sub(prev.PropagateCycles)
 	d.DetectCycles = s.DetectCycles.Sub(prev.DetectCycles)
+	d.LaneOccupancy = s.LaneOccupancy.Sub(prev.LaneOccupancy)
 	return d
 }
 
@@ -290,7 +311,9 @@ func (s *Snapshot) Sub(prev *Snapshot) *Snapshot {
 // delta of an idle interval).
 func (s *Snapshot) Empty() bool {
 	return s == nil || (s.Injections == 0 && s.Restores == 0 && s.Cycles == 0 &&
-		s.BusyNs == 0 && len(s.Outcomes) == 0 && len(s.ByUnit) == 0 && len(s.ByType) == 0 &&
+		s.BusyNs == 0 && s.Batches == 0 &&
+		len(s.Outcomes) == 0 && len(s.ByUnit) == 0 && len(s.ByType) == 0 &&
 		s.InjectionNs.Count == 0 && s.RestoreNs.Count == 0 &&
-		s.PropagateCycles.Count == 0 && s.DetectCycles.Count == 0)
+		s.PropagateCycles.Count == 0 && s.DetectCycles.Count == 0 &&
+		s.LaneOccupancy.Count == 0)
 }
