@@ -1,4 +1,7 @@
 GO ?= go
+# Output file for the `bench` record; override per PR, e.g.
+# `make bench BENCH=BENCH_pr8.json`.
+BENCH ?= BENCH_pr7.json
 
 .PHONY: build bins test race vet bench overhead ci
 
@@ -22,16 +25,18 @@ vet:
 # p6lite/awan models that campaign workers clone concurrently),
 # internal/emu, internal/awan (the gate engine cloned per worker),
 # internal/dist (the loopback coordinator+worker integration tests, HTTP
-# leases, fleet aggregation), and internal/obs (concurrent metrics
-# collectors, fleet snapshot merging, trace sinks).
+# leases, fleet aggregation), internal/obs (concurrent metrics collectors,
+# fleet snapshot merging, trace sinks), and internal/stats (the lock-free
+# convergence estimator campaign workers feed concurrently).
 race:
-	$(GO) test -race ./internal/core ./internal/engine/... ./internal/emu ./internal/awan ./internal/dist ./internal/obs
+	$(GO) test -race ./internal/core ./internal/engine/... ./internal/emu ./internal/awan ./internal/dist ./internal/obs ./internal/stats
 
 # bench runs every benchmark once for a quick smoke, then has sfi-bench
-# re-measure the headline numbers and emit the machine-readable record.
+# re-measure the headline numbers and emit the machine-readable record to
+# $(BENCH).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
-	$(GO) run ./cmd/sfi-bench -out BENCH_pr6.json
+	$(GO) run ./cmd/sfi-bench -out $(BENCH)
 
 # overhead is the observability cost gate: BenchmarkInjection with the
 # no-op default must stay within 5% of the recorded baseline, the

@@ -14,7 +14,11 @@
 // loopback coordinator with fleet observability off and on — and fails if
 // the heartbeat-piggyback/trace-attach path costs more than 5% wall time.
 // Since PR 6 it also pairs a scalar (BatchLanes=1) against a bit-parallel
-// (64-lane) awan campaign and fails if the lane speedup falls below 8x:
+// (64-lane) awan campaign and fails if the lane speedup falls below 8x.
+// Since PR 7 it pairs a fixed-N campaign against the same campaign under
+// the adaptive convergence stop (same seed, same margin) and fails unless
+// the adaptive run converges with strictly fewer injections — the
+// injections-saved claim is measured, not asserted:
 //
 //	sfi-bench -guard -baseline BENCH_baseline.json
 //
@@ -107,6 +111,13 @@ type benchRecord struct {
 		LanesInjPerSec  float64 `json:"lanes_inj_per_sec"`
 		LaneSpeedup     float64 `json:"lane_speedup"`
 	} `json:"awan_lanes"`
+
+	Adaptive struct {
+		FixedFlips         int     `json:"fixed_flips"`
+		AdaptiveFlips      int     `json:"adaptive_flips"`
+		TargetMarginPct    float64 `json:"target_margin_pct"`
+		InjectionsSavedPct float64 `json:"injections_saved_pct"`
+	} `json:"adaptive"`
 }
 
 type baselineRecord struct {
@@ -142,6 +153,15 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	laneSpeedup := lanesInjS / scalarInjS
 	fmt.Fprintf(os.Stderr, "sfi-bench: awan %.0f inj/s scalar, %.0f inj/s lanes (%.1fx)\n",
 		scalarInjS, lanesInjS, laneSpeedup)
+
+	fmt.Fprintln(os.Stderr, "sfi-bench: measuring adaptive early-stop (fixed-N vs converge-at-margin)...")
+	fixedFlips, adaptiveFlips, marginPct, err := measureAdaptive()
+	if err != nil {
+		return err
+	}
+	savedPct := 100 * float64(fixedFlips-adaptiveFlips) / float64(fixedFlips)
+	fmt.Fprintf(os.Stderr, "sfi-bench: adaptive stop at %d of %d injections (%.1f%% saved at a %.1f-point margin)\n",
+		adaptiveFlips, fixedFlips, savedPct, marginPct)
 
 	if guard || record {
 		gerr := runGuard(baselinePath, record, offNs, overhead, distOverhead, laneSpeedup)
@@ -227,6 +247,10 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	rec.AwanLanes.ScalarInjPerSec = scalarInjS
 	rec.AwanLanes.LanesInjPerSec = lanesInjS
 	rec.AwanLanes.LaneSpeedup = laneSpeedup
+	rec.Adaptive.FixedFlips = fixedFlips
+	rec.Adaptive.AdaptiveFlips = adaptiveFlips
+	rec.Adaptive.TargetMarginPct = marginPct
+	rec.Adaptive.InjectionsSavedPct = savedPct
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -480,6 +504,55 @@ func measureAwanLanesPaired(rounds int) (scalarInjS, lanesInjS float64, err erro
 		lanesInjS = max(lanesInjS, lInjS)
 	}
 	return scalarInjS, lanesInjS, nil
+}
+
+// measureAdaptive runs the same campaign twice — once with the classic
+// fixed flip budget, once with the adaptive convergence stop at a 5-point
+// margin — and returns both injection counts. It fails (rather than
+// recording a number) if the fixed run did not exhaust its budget, if the
+// adaptive run did not converge, if any class interval ended wider than
+// the margin, or if the adaptive run saved nothing: the injections-saved
+// claim is a correctness gate, not just a datapoint.
+func measureAdaptive() (fixedFlips, adaptiveFlips int, marginPct float64, err error) {
+	const targetMargin = 0.05
+	config := func() sfi.CampaignConfig {
+		c := sfi.DefaultCampaignConfig()
+		c.Runner.AVP.Testcases = 8
+		c.Runner.AVP.BodyOps = 24
+		c.Seed = 7
+		c.Flips = 4000
+		c.Workers = 2
+		return c
+	}
+	fixedCfg := config()
+	fixedRep, err := sfi.RunCampaign(fixedCfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if fixedRep.Total != fixedCfg.Flips {
+		return 0, 0, 0, fmt.Errorf("fixed-N campaign ran %d of %d injections", fixedRep.Total, fixedCfg.Flips)
+	}
+	adaptiveCfg := config()
+	adaptiveCfg.Stop = sfi.StopConfig{TargetMargin: targetMargin, StopOnConverge: true}
+	adaptiveRep, err := sfi.RunCampaign(adaptiveCfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	c := adaptiveRep.Convergence
+	if c == nil || !c.Converged {
+		return 0, 0, 0, fmt.Errorf("adaptive campaign did not converge within the %d-injection budget", adaptiveCfg.Flips)
+	}
+	for _, ci := range c.Classes {
+		if ci.Width > targetMargin {
+			return 0, 0, 0, fmt.Errorf("adaptive campaign stopped with class %s at width %.4f (target %.4f)",
+				ci.Class, ci.Width, targetMargin)
+		}
+	}
+	if adaptiveRep.Total >= fixedRep.Total {
+		return 0, 0, 0, fmt.Errorf("adaptive stop saved nothing: %d vs fixed %d injections",
+			adaptiveRep.Total, fixedRep.Total)
+	}
+	return fixedRep.Total, adaptiveRep.Total, 100 * targetMargin, nil
 }
 
 // goBench runs the selected benchmarks and returns the combined output.

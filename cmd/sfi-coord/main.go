@@ -19,6 +19,8 @@
 //	sfi-coord -addr :8430 -flips 20000 -unit LSU        # targeted
 //	sfi-coord -addr :8430 -flips 100000 -journal c.jnl  # resumable + shard trace
 //	sfi-coord -addr :8430 -flips 20000 -backend awan    # gate-level fleet
+//	sfi-coord -addr :8430 -flips 200000 -margin 1 -stop-on-converge
+//	                                    # adaptive: stop when every class CI ≤ 1 point
 //
 // Then, on each machine:
 //
@@ -56,22 +58,29 @@ func main() {
 		macro     = flag.String("macro", "", "target latch groups by name prefix")
 		keep      = flag.Bool("keep-results", false, "retain per-injection results in the merged report")
 		shardSize = flag.Int("shard-size", 0, "injections per shard (0 = ~64 shards)")
-		ttl       = flag.Duration("lease-ttl", 10*time.Second, "shard lease TTL; workers heartbeat at TTL/3")
-		attempts  = flag.Int("max-attempts", 3, "lease grants per shard before the campaign fails")
-		journal   = flag.String("journal", "", "completed-shard journal for coordinator restart ('' = none)")
-		shardTr   = flag.String("shard-trace", "auto", "shard-lifecycle trace JSONL file ('auto' = journal + .trace when -journal is set, '' = off)")
-		jsonOut   = flag.Bool("json", false, "emit the merged report as JSON")
-		progress  = flag.Bool("progress", true, "live fleet progress line on stderr")
-		logLevel  = flag.String("log-level", "info", "event log level (debug, info, warn, error)")
-		logText   = flag.Bool("log-text", false, "logfmt-style text event logs instead of JSON")
-		httpAddr  = flag.String("http", "", "extra debug listener: /debug/vars (expvar) and /debug/pprof")
-		quiet     = flag.Bool("quiet", false, "no progress line, warnings and errors only")
+
+		// Adaptive statistical stopping rule (evaluated coordinator-side
+		// over sealed completed-shard counts).
+		margin     = flag.Float64("margin", 0, "evaluate per-class confidence intervals and report convergence once every outcome class's interval is at most this many percentage points wide (0 = off)")
+		confidence = flag.Float64("confidence", 0.95, "confidence level for the -margin intervals")
+		stopConv   = flag.Bool("stop-on-converge", false, "seal the campaign and cancel outstanding leases as soon as the -margin rule converges over completed shards")
+		ttl        = flag.Duration("lease-ttl", 10*time.Second, "shard lease TTL; workers heartbeat at TTL/3")
+		attempts   = flag.Int("max-attempts", 3, "lease grants per shard before the campaign fails")
+		journal    = flag.String("journal", "", "completed-shard journal for coordinator restart ('' = none)")
+		shardTr    = flag.String("shard-trace", "auto", "shard-lifecycle trace JSONL file ('auto' = journal + .trace when -journal is set, '' = off)")
+		jsonOut    = flag.Bool("json", false, "emit the merged report as JSON")
+		progress   = flag.Bool("progress", true, "live fleet progress line on stderr")
+		logLevel   = flag.String("log-level", "info", "event log level (debug, info, warn, error)")
+		logText    = flag.Bool("log-text", false, "logfmt-style text event logs instead of JSON")
+		httpAddr   = flag.String("http", "", "extra debug listener: /debug/vars (expvar) and /debug/pprof")
+		quiet      = flag.Bool("quiet", false, "no progress line, warnings and errors only")
 	)
 	flag.Parse()
 
 	if err := run(*addr, coordArgs{
 		flips: *flips, seed: *seed, backend: *backend, lanes: *lanes, unit: *unit, typ: *typ, macro: *macro,
 		keep: *keep, shardSize: *shardSize, ttl: *ttl, attempts: *attempts,
+		margin: *margin, confidence: *confidence, stopConv: *stopConv,
 		journal: *journal, shardTrace: *shardTr, jsonOut: *jsonOut,
 		progress: *progress, logLevel: *logLevel, logText: *logText,
 		httpAddr: *httpAddr, quiet: *quiet,
@@ -89,6 +98,9 @@ type coordArgs struct {
 	unit, typ, macro string
 	keep             bool
 	shardSize        int
+	margin           float64
+	confidence       float64
+	stopConv         bool
 	ttl              time.Duration
 	attempts         int
 	journal          string
@@ -158,6 +170,17 @@ func run(addr string, a coordArgs) error {
 		runner.BatchLanes = a.lanes
 	}
 
+	var stopRule sfi.StopConfig
+	if a.margin > 0 {
+		stopRule = sfi.StopConfig{
+			TargetMargin:   a.margin / 100,
+			Confidence:     a.confidence,
+			StopOnConverge: a.stopConv,
+		}
+	} else if a.stopConv {
+		return fmt.Errorf("-stop-on-converge needs a -margin")
+	}
+
 	cfg := dist.CoordConfig{
 		Campaign: dist.CampaignSpec{
 			Runner:      runner,
@@ -165,6 +188,7 @@ func run(addr string, a coordArgs) error {
 			Flips:       a.flips,
 			Filter:      filter,
 			KeepResults: a.keep,
+			Stop:        stopRule,
 		},
 		ShardSize:   a.shardSize,
 		LeaseTTL:    a.ttl,
@@ -247,6 +271,7 @@ func run(addr string, a coordArgs) error {
 				case <-t.C:
 					p := coord.Progress()
 					fp := sfi.ProgressFrom(coord.FleetSnapshot(), p.Total, 0, start)
+					fp.Convergence = coord.Convergence()
 					line := fmt.Sprintf("%s — shards %d/%d done, %d leased, %d requeued",
 						fp.Line(), p.Done, p.Shards, p.Leased, p.Requeues)
 					fmt.Fprintf(os.Stderr, "\r%-100s", line)
@@ -270,6 +295,11 @@ func run(addr string, a coordArgs) error {
 	log.Info("campaign merged", "injections", rep.Total,
 		"elapsed", time.Since(start).Round(time.Millisecond).String(),
 		"shards", coord.Progress().Shards)
+	if d := coord.StopDecision(); d != nil {
+		log.Info("converged early", "injections", d.Total, "budget", a.flips,
+			"widest_class", d.WidestClass, "widest_width", d.WidestWidth,
+			"target_margin", d.TargetMargin)
+	}
 	if a.jsonOut {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

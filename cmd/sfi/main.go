@@ -20,6 +20,9 @@
 //	sfi -flips 50000 -http :6060           # expvar+pprof+/metrics while running
 //	sfi -flips 5000 -dist 4                # distributed smoke: in-process
 //	                                       # coordinator + 4 loopback workers
+//	sfi -flips 50000 -margin 1 -stop-on-converge
+//	                                       # adaptive: stop once every outcome
+//	                                       # class's 95% CI is ≤1 point wide
 package main
 
 import (
@@ -65,6 +68,11 @@ func main() {
 		units    = flag.Bool("units", false, "also print the per-unit breakdown")
 		types    = flag.Bool("types", false, "also print the per-latch-type breakdown")
 
+		// Adaptive statistical stopping rule.
+		margin     = flag.Float64("margin", 0, "evaluate per-class confidence intervals and report convergence once every outcome class's interval is at most this many percentage points wide (0 = off)")
+		confidence = flag.Float64("confidence", 0.95, "confidence level for the -margin intervals")
+		stopConv   = flag.Bool("stop-on-converge", false, "stop the campaign as soon as the -margin rule converges instead of running the whole -flips budget")
+
 		// Distributed smoke mode.
 		distN     = flag.Int("dist", 0, "run the campaign through an in-process coordinator with this many loopback workers (exercises the sfi-coord/sfi-worker protocol)")
 		shardSize = flag.Int("shard-size", 0, "injections per shard in -dist mode (0 = ~64 shards)")
@@ -83,6 +91,7 @@ func main() {
 		sticky: *sticky, duration: *duration, span: *span, raw: *raw, noRec: *noRec,
 		window: *window, fixed: *fixed, workers: *workers, lanes: *lanes, nest: *nest,
 		detail: *detail, jsonOut: *jsonOut, causes: *causes, units: *units, types: *types,
+		margin: *margin, confidence: *confidence, stopConv: *stopConv,
 		dist: *distN, shardSize: *shardSize,
 		trace: *trace, traceSample: *traceSmp, metrics: *metrics,
 		httpAddr: *httpAddr, progress: *progress,
@@ -110,6 +119,10 @@ type campaignArgs struct {
 	jsonOut          bool
 	causes           bool
 	units, types     bool
+
+	margin     float64
+	confidence float64
+	stopConv   bool
 
 	dist      int
 	shardSize int
@@ -186,6 +199,17 @@ func run(a campaignArgs) error {
 	}
 	if a.nest {
 		cfg.Runner.Proc.EnableNest = true
+	}
+	if a.margin > 0 {
+		// The flag speaks percentage points (matching every rendered
+		// percentage); the rule works in fractions.
+		cfg.Stop = sfi.StopConfig{
+			TargetMargin:   a.margin / 100,
+			Confidence:     a.confidence,
+			StopOnConverge: a.stopConv,
+		}
+	} else if a.stopConv {
+		return fmt.Errorf("-stop-on-converge needs a -margin")
 	}
 
 	filters := 0
@@ -290,6 +314,7 @@ func run(a campaignArgs) error {
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			live.snapshot().WritePrometheus(w, "sfi")
+			sfi.WriteConvergencePrometheus(w, "sfi", live.get().Convergence)
 		})
 		http.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
@@ -333,6 +358,9 @@ func emit(a campaignArgs, rep *sfi.Report, elapsed time.Duration) error {
 		if err := rep.Metrics.WritePrometheus(out, "sfi"); err != nil {
 			return err
 		}
+		if err := sfi.WriteConvergencePrometheus(out, "sfi", rep.Convergence); err != nil {
+			return err
+		}
 	}
 	if a.jsonOut {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -345,9 +373,18 @@ func emit(a campaignArgs, rep *sfi.Report, elapsed time.Duration) error {
 
 	printSummary(rep, elapsed)
 	if a.detail {
-		fmt.Print(rep.DetailedString())
+		fmt.Print(rep.DetailedString()) // includes the convergence line
 	} else {
 		fmt.Print(rep)
+		if c := rep.Convergence; c != nil {
+			verdict := "converged"
+			if !c.Converged {
+				verdict = "NOT converged"
+			}
+			fmt.Printf("convergence: %s at n=%d — widest margin %s %.2f%% (target %.2f%% at %.0f%% confidence)\n",
+				verdict, c.Total, c.WidestClass, 100*c.WidestWidth,
+				100*c.TargetMargin, 100*c.Confidence)
+		}
 	}
 
 	if a.units {
@@ -430,6 +467,7 @@ func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration
 			Filter:       fs,
 			KeepResults:  cfg.KeepResults,
 			ShardWorkers: shardWorkers,
+			Stop:         cfg.Stop,
 		},
 		ShardSize: a.shardSize,
 	})
@@ -474,6 +512,7 @@ func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration
 					// between shard completions too.
 					p := coord.Progress()
 					fp := sfi.ProgressFrom(coord.FleetSnapshot(), p.Total, 0, start)
+					fp.Convergence = coord.Convergence()
 					line := fmt.Sprintf("%s — shards %d/%d done, %d leased",
 						fp.Line(), p.Done, p.Shards, p.Leased)
 					fmt.Fprintf(os.Stderr, "\r%-78s", line)
@@ -489,6 +528,10 @@ func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration
 	}
 	if err != nil {
 		return nil, 0, err
+	}
+	if d := coord.StopDecision(); d != nil {
+		fmt.Fprintf(os.Stderr, "converged early: %d of %d injections (widest class %s at %.2f%%, target %.2f%%)\n",
+			d.Total, cfg.Flips, d.WidestClass, 100*d.WidestWidth, 100*d.TargetMargin)
 	}
 	// Workers exit on their own once the coordinator answers 410.
 	for i := 0; i < a.dist; i++ {

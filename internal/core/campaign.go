@@ -8,10 +8,12 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sfi/internal/latch"
 	"sfi/internal/obs"
+	"sfi/internal/stats"
 )
 
 // CampaignConfig describes a statistical fault-injection campaign.
@@ -50,6 +52,15 @@ type CampaignConfig struct {
 	// live progress). The zero value is fully off and costs ~nothing.
 	Obs ObsConfig
 
+	// Stop configures adaptive statistical early-stop: when enabled, the
+	// campaign streams classified outcomes into a sequential-interval
+	// estimator and (with StopOnConverge) stops dispatching as soon as
+	// every outcome class's confidence interval is within the target
+	// margin — the paper's "just enough samples" methodology made
+	// operational. The zero value keeps the classic fixed-Flips behavior
+	// bit for bit.
+	Stop StopConfig
+
 	// Shard, when non-nil, restricts execution to the half-open
 	// injection-index range [Lo, Hi) of the campaign's deterministic
 	// sample. The full Flips-bit sample is still drawn (it is a pure
@@ -58,6 +69,47 @@ type CampaignConfig struct {
 	// injections a single whole-campaign run would perform, and merging
 	// their Reports reproduces the whole-campaign Report.
 	Shard *ShardRange
+}
+
+// StopConfig configures adaptive statistical early-stop for a campaign.
+// The zero value is fully disabled: the campaign runs exactly Flips
+// injections and produces byte-identical reports to builds without the
+// feature. Flips remains the hard sample budget — an adaptive campaign
+// never runs more than Flips injections, it just may answer sooner.
+type StopConfig struct {
+	// TargetMargin is the maximum acceptable confidence-interval width
+	// (hi-lo) per outcome class, as a fraction (0.02 = ±1 percentage
+	// point). <= 0 disables adaptive evaluation entirely.
+	TargetMargin float64 `json:"target_margin,omitempty"`
+
+	// Confidence is the two-sided confidence level the margin must hold
+	// at (default stats.DefaultConfidence). Intervals are sequential
+	// (any-time-valid), so the level survives the continuous peeking an
+	// early-stopping monitor does.
+	Confidence float64 `json:"confidence,omitempty"`
+
+	// MinPerClass is the minimum sample count before convergence may be
+	// declared (default stats.DefaultMinPerClass) — the floor that keeps
+	// rare classes (SDC, checkstop) from being declared converged at n≈0.
+	MinPerClass int `json:"min_per_class,omitempty"`
+
+	// StopOnConverge actually stops the dispatch once every class is
+	// within the margin. When false (observe-only), the campaign runs all
+	// Flips injections but still tracks and reports convergence — useful
+	// for calibrating a margin before trusting it to cut campaigns short.
+	StopOnConverge bool `json:"stop_on_converge,omitempty"`
+}
+
+// Enabled reports whether convergence tracking is active.
+func (s StopConfig) Enabled() bool { return s.TargetMargin > 0 }
+
+// Rule returns the stats stopping rule the config describes.
+func (s StopConfig) Rule() stats.StopRule {
+	return stats.StopRule{
+		TargetMargin: s.TargetMargin,
+		Confidence:   s.Confidence,
+		MinPerClass:  s.MinPerClass,
+	}
 }
 
 // ShardRange is a half-open range [Lo, Hi) of injection indices into a
@@ -131,6 +183,10 @@ type Progress struct {
 	// Metrics is the merged cross-worker snapshot this view was derived
 	// from — live campaign state for debug endpoints (expvar, /metrics).
 	Metrics *obs.Snapshot
+	// Convergence is the live per-class confidence-interval evaluation,
+	// present only when the campaign runs with a StopConfig (nil
+	// otherwise). Its widest outstanding margin is what Line renders.
+	Convergence *stats.Convergence
 }
 
 // DefaultCampaignConfig returns a whole-core random campaign configuration.
@@ -162,6 +218,10 @@ type Report struct {
 	// Metrics is the merged cross-worker metrics snapshot, present when
 	// ObsConfig enabled metrics collection (nil otherwise).
 	Metrics *obs.Snapshot
+	// Convergence is the final per-class confidence-interval evaluation,
+	// present only for campaigns run with a StopConfig (nil otherwise, so
+	// fixed-N report serializations are unchanged).
+	Convergence *stats.Convergence
 }
 
 // Fraction returns the fraction of injections with outcome o.
@@ -306,6 +366,16 @@ func (p Progress) Line() string {
 	}
 	if mix.Len() > 0 {
 		line += fmt.Sprintf(" [%s]", strings.TrimSpace(mix.String()))
+	}
+	// Widest outstanding margin: which class still holds the campaign open,
+	// and how far its interval width is from the target.
+	if c := p.Convergence; c != nil {
+		if c.Converged {
+			line += fmt.Sprintf("  ci ok<=%.2f%%", 100*c.TargetMargin)
+		} else {
+			line += fmt.Sprintf("  ci %s %.2f%%>%.2f%%",
+				c.WidestClass, 100*c.WidestWidth, 100*c.TargetMargin)
+		}
 	}
 	return line
 }
@@ -465,6 +535,26 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 	// reused prototype (RunCampaignWith) left behind.
 	first.SetObs(workerObs(0), cfg.Obs.Trace)
 
+	// Adaptive statistical stop: workers stream every classified outcome
+	// into a shared sequential-interval estimator. The dispatch loop polls
+	// it between dispatches and, on a hit, lets in-flight batches settle
+	// (pending == 0) before confirming over the exact counts — a late
+	// result can move a class's fraction and re-widen its interval, so
+	// only settled counts may seal the decision. That makes the final
+	// report's convergence evaluation agree with the stop decision by
+	// construction (the dist coordinator gets the same property from
+	// sealing completed shards only).
+	var est *stats.Estimator
+	var pending atomic.Int64
+	var stopMon, monDone chan struct{}
+	// seen dedups convergence events; only the monitor goroutine touches
+	// it while workers run, the final emission only after the monitor has
+	// stopped.
+	seen := make(map[string]bool)
+	if cfg.Stop.Enabled() {
+		est = stats.NewEstimator(outcomeNames(), cfg.Stop.Rule())
+	}
+
 	results := make([]Result, len(bits))
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -475,7 +565,12 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 		for bi := range next {
 			batch := batches[bi]
 			if !batched {
-				results[batch[0]] = r.RunInjection(bits[batch[0]])
+				res := r.RunInjection(bits[batch[0]])
+				results[batch[0]] = res
+				if est != nil {
+					est.Observe(int(res.Outcome), res.Unit, res.LatchType.String())
+				}
+				pending.Add(-1)
 				continue
 			}
 			group := make([]int, len(batch))
@@ -484,7 +579,11 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 			}
 			for j, res := range r.RunInjectionBatch(group) {
 				results[batch[j]] = res
+				if est != nil {
+					est.Observe(int(res.Outcome), res.Unit, res.LatchType.String())
+				}
 			}
+			pending.Add(-1)
 		}
 	}
 
@@ -511,7 +610,34 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 				case <-stopProg:
 					return
 				case <-t.C:
-					cfg.Obs.Progress(ProgressFrom(mergedSnapshot(), len(bits), workers, start))
+					p := ProgressFrom(mergedSnapshot(), len(bits), workers, start)
+					p.Convergence = est.Snapshot(false)
+					cfg.Obs.Progress(p)
+				}
+			}
+		}()
+	}
+
+	// The convergence monitor: poll the estimator on a short ticker (a
+	// snapshot is a handful of float ops) and record class-level — and,
+	// observe-only, campaign-level — convergence transitions as JSONL
+	// events as they happen. When StopOnConverge is armed the
+	// campaign-wide stop event is withheld here and emitted by the final
+	// pass over the authoritative evaluation instead, so its n matches
+	// the report exactly.
+	if est != nil {
+		stopMon = make(chan struct{})
+		monDone = make(chan struct{})
+		go func() {
+			defer close(monDone)
+			t := time.NewTicker(5 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopMon:
+					return
+				case <-t.C:
+					emitConvergenceEvents(cfg.Obs.Trace, est.Snapshot(false), seen, !cfg.Stop.StopOnConverge)
 				}
 			}
 		}()
@@ -548,23 +674,52 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 	}
 
 	// Fail-fast dispatch: stop handing out work the moment a worker
-	// reports a start failure — or the context is cancelled — instead of
-	// draining the whole campaign.
+	// reports a start failure, the context is cancelled, or the stop rule
+	// is confirmed over settled counts. Convergence is the one
+	// *successful* early exit: in-flight batches run to completion and
+	// the report covers exactly the dispatched prefix of the sample.
 	var errs []error
+	dispatched := len(batches)
+	stopOnConverge := est != nil && cfg.Stop.StopOnConverge
+	// Re-confirming on the same counts would spin; only re-check after a
+	// failed confirmation once new samples have landed.
+	confirmFailedAt := int64(-1)
 dispatch:
-	for i := range batches {
+	for i := 0; i < len(batches); {
+		if stopOnConverge && est.Total() != confirmFailedAt && est.Converged() {
+			// Tentative hit on the live view, which lags in-flight
+			// batches: wait for them to settle, then confirm over the
+			// exact counts. Dispatch is paused, so pending only drains.
+			for pending.Load() > 0 {
+				time.Sleep(100 * time.Microsecond)
+			}
+			if est.Converged() {
+				dispatched = i
+				break dispatch
+			}
+			confirmFailedAt = est.Total()
+			continue
+		}
 		select {
 		case e := <-errCh:
 			errs = append(errs, e)
+			dispatched = i
 			break dispatch
 		case <-ctx.Done():
 			errs = append(errs, fmt.Errorf("core: campaign cancelled: %w", context.Cause(ctx)))
+			dispatched = i
 			break dispatch
 		case next <- i:
+			pending.Add(1)
+			i++
 		}
 	}
 	close(next)
 	wg.Wait()
+	if stopMon != nil {
+		close(stopMon)
+		<-monDone
+	}
 	if stopProg != nil {
 		close(stopProg)
 		<-progDone
@@ -593,19 +748,78 @@ drain:
 	}
 
 	rep := newReport()
-	for _, res := range results {
-		rep.add(res, cfg.KeepResults)
+	if dispatched == len(batches) {
+		for _, res := range results {
+			rep.add(res, cfg.KeepResults)
+		}
+	} else {
+		// Early stop: only the dispatched batches' sample positions were
+		// executed (undispatched positions hold the invalid zero Result).
+		// Aggregate in sample-position order so kept Results stay in the
+		// campaign's deterministic dispatch order.
+		done := make([]bool, len(results))
+		for bi := 0; bi < dispatched; bi++ {
+			for _, pos := range batches[bi] {
+				done[pos] = true
+			}
+		}
+		for pos, res := range results {
+			if done[pos] {
+				rep.add(res, cfg.KeepResults)
+			}
+		}
 	}
 	rep.Workers = workers
 	if collect {
 		rep.Metrics = mergedSnapshot()
 	}
+	if cfg.Stop.Enabled() {
+		// The authoritative evaluation: exact aggregate counts (the
+		// monitor's live view lags in-flight batches), with per-unit and
+		// per-type strata.
+		rep.Convergence = rep.ComputeConvergence(cfg.Stop.Rule())
+		// Final convergence events over that evaluation: a fast campaign
+		// can finish before the monitor's first tick, and the stop event
+		// must carry the settled n. The monitor has stopped, so seen is
+		// ours again; it dedups whatever the ticks already reported.
+		emitConvergenceEvents(cfg.Obs.Trace, rep.Convergence, seen, true)
+	}
 	if cfg.Obs.Progress != nil {
 		// One final, complete update (the ticker goroutine has stopped, so
 		// this never races with a periodic call).
-		cfg.Obs.Progress(ProgressFrom(rep.Metrics, len(bits), workers, start))
+		p := ProgressFrom(rep.Metrics, len(bits), workers, start)
+		p.Convergence = rep.Convergence
+		cfg.Obs.Progress(p)
 	}
 	return rep, nil
+}
+
+// emitConvergenceEvents records each class's first margin crossing — and,
+// once, the campaign-wide stop decision — as JSONL convergence events.
+// seen carries the already-reported set between calls ("" = the campaign
+// decision itself); allowStop gates the campaign-wide event, which a
+// StopOnConverge campaign reserves for the final settled evaluation.
+func emitConvergenceEvents(trace *obs.TraceSink, c *stats.Convergence, seen map[string]bool, allowStop bool) {
+	if trace == nil || c == nil {
+		return
+	}
+	for _, ci := range c.Classes {
+		if ci.Converged && !seen[ci.Class] {
+			seen[ci.Class] = true
+			trace.RecordJSON(obs.ConvergenceEvent{
+				Kind: "class_converged", Class: ci.Class, K: ci.K, N: ci.N,
+				Lo: ci.Lo, Hi: ci.Hi, Width: ci.Width,
+				TargetMargin: c.TargetMargin, Confidence: c.Confidence,
+			})
+		}
+	}
+	if allowStop && c.Converged && !seen[""] {
+		seen[""] = true
+		trace.RecordJSON(obs.ConvergenceEvent{
+			Kind: "stop", N: c.Total, Width: c.WidestWidth,
+			TargetMargin: c.TargetMargin, Confidence: c.Confidence,
+		})
+	}
 }
 
 // String renders the report in the paper's Table 2 style.

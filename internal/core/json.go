@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"sort"
+
+	"sfi/internal/stats"
 )
 
 // JSON serialization of campaign reports, for downstream tooling (plotting
@@ -17,6 +19,9 @@ type reportJSON struct {
 	ByType    map[string]map[string]int     `json:"by_type"`
 	Results   []resultJSON                  `json:"results,omitempty"`
 	Intervals map[string]map[string]float64 `json:"wilson95,omitempty"`
+	// Convergence is present only for adaptive campaigns (StopConfig set),
+	// so fixed-N report JSON stays byte-identical.
+	Convergence *stats.Convergence `json:"convergence,omitempty"`
 }
 
 type resultJSON struct {
@@ -46,6 +51,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		ByType:    make(map[string]map[string]int),
 		Intervals: make(map[string]map[string]float64),
 	}
+	out.Convergence = r.Convergence
 	cis := r.ConfidenceIntervals(1.96)
 	for _, o := range Outcomes {
 		out.Counts[o.String()] = r.Counts[o]

@@ -79,6 +79,10 @@ func (r *Report) Merge(o *Report) {
 		}
 		r.Metrics.Merge(o.Metrics)
 	}
+	// A merged report covers a different population than either input, so
+	// any attached convergence evaluation is stale: drop it and let the
+	// caller re-evaluate over the merged counts (ComputeConvergence).
+	r.Convergence = nil
 }
 
 // Interval is a binomial confidence interval on an outcome proportion.
@@ -96,6 +100,42 @@ func (r *Report) ConfidenceIntervals(z float64) map[Outcome]Interval {
 		out[o] = Interval{Fraction: r.Fraction(o), Lo: lo, Hi: hi}
 	}
 	return out
+}
+
+// ComputeConvergence evaluates an adaptive stopping rule over the report's
+// exact aggregate counts, with per-unit and per-latch-type strata. It is
+// the authoritative post-campaign evaluation (the live estimator's view
+// lags in-flight work) and the sealed-counts decision basis distributed
+// coordinators stop on. Returns nil for a disabled rule.
+func (r *Report) ComputeConvergence(rule stats.StopRule) *stats.Convergence {
+	if !rule.Enabled() {
+		return nil
+	}
+	classes := outcomeNames()
+	counts := make(map[string]int64, len(r.Counts))
+	for o, n := range r.Counts {
+		counts[o.String()] = int64(n)
+	}
+	c := rule.Eval(classes, counts, int64(r.Total))
+	byUnit := make(map[string]stats.StratumCounts, len(r.ByUnit))
+	for unit, row := range r.ByUnit {
+		byUnit[unit] = stratumFromRow(row)
+	}
+	byType := make(map[string]stats.StratumCounts, len(r.ByType))
+	for t, row := range r.ByType {
+		byType[t.String()] = stratumFromRow(row)
+	}
+	c.AddStrata(rule, classes, byUnit, byType)
+	return c
+}
+
+func stratumFromRow(row map[Outcome]int) stats.StratumCounts {
+	s := stats.StratumCounts{Counts: make(map[string]int64, len(row))}
+	for o, n := range row {
+		s.Counts[o.String()] = int64(n)
+		s.Total += int64(n)
+	}
+	return s
 }
 
 // LatencyStats summarizes detection latency over the detected injections.
@@ -182,6 +222,16 @@ func (r *Report) DetailedString() string {
 		ci := cis[o]
 		fmt.Fprintf(&sb, "  %-10s %6d  %6.2f%%  [%.2f%%, %.2f%%]\n",
 			o, r.Counts[o], 100*ci.Fraction, 100*ci.Lo, 100*ci.Hi)
+	}
+	if c := r.Convergence; c != nil {
+		verdict := "converged"
+		if !c.Converged {
+			verdict = "NOT converged"
+		}
+		fmt.Fprintf(&sb, "convergence: %s at n=%d — widest margin %s %.2f%% "+
+			"(target %.2f%% at %.0f%% confidence, min %d samples)\n",
+			verdict, c.Total, c.WidestClass, 100*c.WidestWidth,
+			100*c.TargetMargin, 100*c.Confidence, c.MinPerClass)
 	}
 	if len(r.Results) > 0 {
 		ls := r.DetectionLatency()

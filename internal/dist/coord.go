@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"sfi/internal/core"
 	"sfi/internal/engine"
 	"sfi/internal/obs"
+	"sfi/internal/stats"
 )
 
 // CoordConfig parameterizes a campaign coordinator.
@@ -116,8 +118,18 @@ type Coordinator struct {
 	workers  map[string]*workerStats
 	started  time.Time
 	err      error
-	finished chan struct{} // closed once done==len(shards) or err is set
+	finished chan struct{} // closed once done==len(shards), the stop rule fires, or err is set
 	journal  *journal
+
+	// Adaptive-stop state. The decision basis is sealedCounts/sealedTotal —
+	// outcome counts summed over *completed* shard reports only, never live
+	// heartbeat deltas — so whether the rule fires is a pure function of
+	// which shards completed, and a journal replay reaches the same verdict.
+	sealedTotal   int64
+	sealedCounts  map[string]int64
+	stoppedEarly  bool
+	stopEval      *stats.Convergence // the decision stopped on (nil until then)
+	stopJournaled bool               // stop line already durable (written or replayed)
 
 	stopReaper chan struct{}
 	reaperDone chan struct{}
@@ -146,14 +158,15 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		cfg.Log = obs.NopLogger()
 	}
 	c := &Coordinator{
-		cfg:        cfg,
-		log:        cfg.Log.With("seed", cfg.Campaign.Seed, "flips", cfg.Campaign.Flips),
-		fleet:      obs.NewFleet(),
-		workers:    make(map[string]*workerStats),
-		started:    time.Now(),
-		finished:   make(chan struct{}),
-		stopReaper: make(chan struct{}),
-		reaperDone: make(chan struct{}),
+		cfg:          cfg,
+		log:          cfg.Log.With("seed", cfg.Campaign.Seed, "flips", cfg.Campaign.Flips),
+		fleet:        obs.NewFleet(),
+		workers:      make(map[string]*workerStats),
+		started:      time.Now(),
+		finished:     make(chan struct{}),
+		stopReaper:   make(chan struct{}),
+		reaperDone:   make(chan struct{}),
+		sealedCounts: make(map[string]int64),
 	}
 	for id, r := range core.PlanShards(cfg.Campaign.Flips, cfg.ShardSize) {
 		c.shards = append(c.shards, &shard{
@@ -161,27 +174,47 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		})
 	}
 	if cfg.Journal != "" {
-		j, recovered, err := openJournal(cfg.Journal, journalHeader{
+		j, recovered, recStop, err := openJournal(cfg.Journal, journalHeader{
 			V:         1,
 			Seed:      cfg.Campaign.Seed,
 			Backend:   engine.Resolve(cfg.Campaign.Runner.Backend),
 			Flips:     cfg.Campaign.Flips,
 			ShardSize: cfg.ShardSize,
 			Filter:    cfg.Campaign.Filter,
+			Stop:      cfg.Campaign.Stop,
 		}, c.log)
 		if err != nil {
 			return nil, err
 		}
 		c.journal = j
-		for id, rep := range recovered {
+		// A journaled stop decision is honored verbatim: set it before the
+		// replay loop so markDoneLocked never re-evaluates the rule, and
+		// never re-journals the line.
+		if recStop != nil {
+			c.stoppedEarly = true
+			c.stopEval = recStop
+			c.stopJournaled = true
+		}
+		// Replay in shard order so a journal without a stop line (crash
+		// before the decision was durable) re-converges deterministically.
+		ids := make([]int, 0, len(recovered))
+		for id := range recovered {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
 			if id < 0 || id >= len(c.shards) {
 				j.close()
 				return nil, fmt.Errorf("dist: journal names shard %d outside the %d-shard plan", id, len(c.shards))
 			}
-			c.markDoneLocked(c.shards[id], rep)
+			c.markDoneLocked(c.shards[id], recovered[id])
 		}
 		if len(recovered) > 0 {
-			c.log.Info("journal replayed", "path", cfg.Journal, "shards_recovered", len(recovered))
+			c.log.Info("journal replayed", "path", cfg.Journal,
+				"shards_recovered", len(recovered), "stopped_early", c.stoppedEarly)
+		}
+		if recStop != nil {
+			c.finishLocked()
 		}
 	}
 	// Queue whatever the journal didn't already settle.
@@ -298,9 +331,19 @@ func (c *Coordinator) requeueLocked(s *shard, why string) {
 }
 
 func (c *Coordinator) failLocked(err error) {
-	if c.err == nil && c.done < len(c.shards) {
+	if c.err == nil && !c.stoppedEarly && c.done < len(c.shards) {
 		c.err = err
 		c.log.Error("campaign failed", "err", err)
+		c.finishLocked()
+	}
+}
+
+// finishLocked closes the finished channel exactly once. Completion, the
+// convergence stop and failure all funnel through it.
+func (c *Coordinator) finishLocked() {
+	select {
+	case <-c.finished:
+	default:
 		close(c.finished)
 	}
 }
@@ -322,21 +365,78 @@ func (c *Coordinator) markDoneLocked(s *shard, rep *core.Report) {
 	}
 	c.fleet.Seal(s.fleetKey(), final)
 	c.done++
+	if c.cfg.Campaign.Stop.Enabled() && rep != nil {
+		c.sealedTotal += int64(rep.Total)
+		for o, n := range rep.Counts {
+			c.sealedCounts[o.String()] += int64(n)
+		}
+	}
 	if c.done == len(c.shards) && c.err == nil {
 		c.log.Info("campaign complete",
 			"shards", len(c.shards), "grants", c.grants, "requeues", c.requeues,
 			"elapsed", time.Since(c.started).Round(time.Millisecond))
-		close(c.finished)
+		c.finishLocked()
+		return
+	}
+	if c.cfg.Campaign.Stop.Enabled() && c.cfg.Campaign.Stop.StopOnConverge &&
+		!c.stoppedEarly && c.err == nil {
+		eval := c.cfg.Campaign.Stop.Rule().Eval(outcomeClasses(), c.sealedCounts, c.sealedTotal)
+		if eval.Converged {
+			c.convergeLocked(eval)
+		}
 	}
 }
 
+// convergeLocked stops the campaign on a sealed-counts convergence verdict:
+// journal the decision first (so a restart honors it rather than re-running
+// the race between remaining shards and the rule), then seal the ledger.
+// Outstanding leases are cancelled passively — overLocked() now answers
+// heartbeat and lease polls with 410 Gone, and workers abandon their
+// in-flight shards.
+func (c *Coordinator) convergeLocked(eval *stats.Convergence) {
+	if c.journal != nil && !c.stopJournaled {
+		if err := c.journal.appendStop(eval); err != nil {
+			c.failLocked(fmt.Errorf("dist: journal stop record: %w", err))
+			return
+		}
+		c.stopJournaled = true
+	}
+	c.stoppedEarly = true
+	c.stopEval = eval
+	c.log.Info("campaign converged, stopping early",
+		"sealed_injections", eval.Total, "shards_done", c.done, "shards", len(c.shards),
+		"widest_class", eval.WidestClass, "widest_width", eval.WidestWidth,
+		"target_margin", eval.TargetMargin)
+	if c.cfg.ShardTrace != nil {
+		c.cfg.ShardTrace.RecordJSON(obs.ConvergenceEvent{
+			Kind:         "fleet_stop",
+			N:            eval.Total,
+			Width:        eval.WidestWidth,
+			TargetMargin: eval.TargetMargin,
+			Confidence:   eval.Confidence,
+		})
+	}
+	c.finishLocked()
+}
+
 func (c *Coordinator) overLocked() bool {
-	return c.err != nil || c.done == len(c.shards)
+	return c.err != nil || c.stoppedEarly || c.done == len(c.shards)
+}
+
+// outcomeClasses is the tracked outcome classes in reporting order.
+func outcomeClasses() []string {
+	names := make([]string, len(core.Outcomes))
+	for i, o := range core.Outcomes {
+		names[i] = o.String()
+	}
+	return names
 }
 
 // Wait blocks until every shard is complete (returning the merged
-// campaign Report, identical to a single-process run) or the campaign
-// fails (a shard exhausted its attempts) or ctx is cancelled.
+// campaign Report, identical to a single-process run), the stopping rule
+// fires (returning the completed shards merged, with the convergence
+// evaluation attached), the campaign fails (a shard exhausted its
+// attempts) or ctx is cancelled.
 func (c *Coordinator) Wait(ctx context.Context) (*core.Report, error) {
 	select {
 	case <-ctx.Done():
@@ -350,9 +450,14 @@ func (c *Coordinator) Wait(ctx context.Context) (*core.Report, error) {
 	}
 	// Merge in shard order: shard order is sample order, so the merged
 	// report — kept Results included — matches the single-process run.
+	// After an early stop only completed shards carry reports; the merge
+	// covers exactly the population the stop decision was evaluated on.
 	rep := &core.Report{}
 	for _, s := range c.shards {
 		rep.Merge(s.report)
+	}
+	if stop := c.cfg.Campaign.Stop; stop.Enabled() {
+		rep.Convergence = rep.ComputeConvergence(stop.Rule())
 	}
 	return rep, nil
 }
@@ -369,6 +474,9 @@ type Progress struct {
 	Total      int    `json:"injections_total"`
 	Failed     bool   `json:"failed"`
 	Error      string `json:"error,omitempty"`
+	// StoppedEarly reports that the convergence stop rule sealed the
+	// campaign before every shard completed.
+	StoppedEarly bool `json:"stopped_early,omitempty"`
 	// Outcomes is the outcome mix over completed shards.
 	Outcomes map[string]int `json:"outcomes,omitempty"`
 }
@@ -386,6 +494,7 @@ func (c *Coordinator) Progress() Progress {
 		Failed:   c.err != nil,
 		Outcomes: make(map[string]int),
 	}
+	p.StoppedEarly = c.stoppedEarly
 	if c.err != nil {
 		p.Error = c.err.Error()
 	}
@@ -416,6 +525,29 @@ func (c *Coordinator) FleetSnapshot() *obs.Snapshot {
 	return c.fleet.Snapshot()
 }
 
+// Convergence is the live fleet-wide confidence-interval evaluation over
+// the fleet metrics view (sealed completed-shard snapshots plus heartbeat
+// deltas of in-flight shards). It feeds the progress line, /v1/status and
+// /metrics; the stop *decision* is made over sealed counts only. Nil
+// without a stop rule.
+func (c *Coordinator) Convergence() *stats.Convergence {
+	stop := c.cfg.Campaign.Stop
+	if !stop.Enabled() {
+		return nil
+	}
+	return c.fleet.Convergence(outcomeClasses(), stop.Rule(), false)
+}
+
+// StopDecision returns the sealed-counts convergence evaluation the
+// coordinator stopped early on, nil if the campaign ran (or is running)
+// to completion. A coordinator restarted over a journal that records a
+// stop decision reports that same decision.
+func (c *Coordinator) StopDecision() *stats.Convergence {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopEval
+}
+
 // Handler returns the coordinator's HTTP API:
 //
 //	POST /v1/lease      lease the next pending shard (204 = none pending,
@@ -429,7 +561,8 @@ func (c *Coordinator) FleetSnapshot() *obs.Snapshot {
 //	GET  /progress      campaign progress, JSON
 //	GET  /metrics       live fleet-wide metrics (in-flight shard deltas +
 //	                    completed shard snapshots) plus coordinator shard
-//	                    latency histograms, Prometheus text
+//	                    latency histograms and — for adaptive campaigns —
+//	                    per-class confidence-interval gauges, Prometheus text
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/lease", c.handleLease)
@@ -447,6 +580,7 @@ func (c *Coordinator) Handler() http.Handler {
 		snap := c.FleetSnapshot()
 		snap.WritePrometheus(w, "sfi")
 		c.writeCoordMetrics(w)
+		obs.WriteConvergencePrometheus(w, "sfi", c.Convergence())
 	})
 	return mux
 }
@@ -597,7 +731,10 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		return
 	}
-	if c.err != nil {
+	// A late completion after the campaign failed or converged must not
+	// reopen the ledger: the stop decision is a function of the shards
+	// sealed at decision time.
+	if c.err != nil || c.stoppedEarly {
 		w.WriteHeader(http.StatusGone)
 		return
 	}

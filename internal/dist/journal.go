@@ -8,14 +8,18 @@ import (
 	"os"
 
 	"sfi/internal/core"
+	"sfi/internal/stats"
 )
 
 // The campaign journal is a JSONL file: a header line binding it to one
-// campaign plan, then one line per completed shard. Lines are appended and
-// fsync'd when a shard completes, so a coordinator killed at any point can
-// be restarted over the same journal and resume with every durably
-// completed shard already marked done. A torn final line (crash
-// mid-append) is ignored on replay — that shard simply reruns.
+// campaign plan, then one line per completed shard, plus — for adaptive
+// campaigns — one stop-decision line recording the sealed-counts
+// convergence evaluation the coordinator stopped on. Lines are appended
+// and fsync'd when a shard completes, so a coordinator killed at any point
+// can be restarted over the same journal and resume with every durably
+// completed shard already marked done (and the stop decision, if one was
+// reached, honored verbatim). A torn final line (crash mid-append) is
+// ignored on replay — that shard simply reruns.
 
 type journalHeader struct {
 	V    int    `json:"v"`
@@ -27,11 +31,19 @@ type journalHeader struct {
 	Flips     int        `json:"flips"`
 	ShardSize int        `json:"shard_size"`
 	Filter    FilterSpec `json:"filter"`
+	// Stop binds the journal to one stopping rule: replaying shards
+	// recorded under one rule while evaluating another would let the same
+	// journal yield different stop decisions.
+	Stop core.StopConfig `json:"stop,omitempty"`
 }
 
+// journalEntry is one post-header line: a completed shard's report, or —
+// when Stop is set (Shard is -1 then) — the coordinator's convergence
+// stop decision.
 type journalEntry struct {
-	Shard  int         `json:"shard"`
-	Report *WireReport `json:"report"`
+	Shard  int                `json:"shard"`
+	Report *WireReport        `json:"report,omitempty"`
+	Stop   *stats.Convergence `json:"stop,omitempty"`
 }
 
 type journal struct {
@@ -39,25 +51,27 @@ type journal struct {
 }
 
 // openJournal opens (or creates) the journal at path for the campaign
-// described by hdr, returning the recovered shard reports. An existing
-// journal whose header does not match hdr is rejected: resuming a
+// described by hdr, returning the recovered shard reports and the recorded
+// convergence stop decision (nil if the prior run never reached one). An
+// existing journal whose header does not match hdr is rejected: resuming a
 // different campaign over it would merge unrelated shards.
-func openJournal(path string, hdr journalHeader, log *slog.Logger) (*journal, map[int]*core.Report, error) {
+func openJournal(path string, hdr journalHeader, log *slog.Logger) (*journal, map[int]*core.Report, *stats.Convergence, error) {
 	recovered := make(map[int]*core.Report)
+	var stop *stats.Convergence
 	data, err := os.ReadFile(path)
 	switch {
 	case os.IsNotExist(err) || (err == nil && len(data) == 0):
 		// Fresh journal.
 	case err != nil:
-		return nil, nil, fmt.Errorf("dist: read journal: %w", err)
+		return nil, nil, nil, fmt.Errorf("dist: read journal: %w", err)
 	default:
 		lines := bytes.Split(data, []byte("\n"))
 		var got journalHeader
 		if err := json.Unmarshal(lines[0], &got); err != nil {
-			return nil, nil, fmt.Errorf("dist: journal %s: bad header: %w", path, err)
+			return nil, nil, nil, fmt.Errorf("dist: journal %s: bad header: %w", path, err)
 		}
 		if got != hdr {
-			return nil, nil, fmt.Errorf("dist: journal %s belongs to a different campaign plan (%+v, want %+v)",
+			return nil, nil, nil, fmt.Errorf("dist: journal %s belongs to a different campaign plan (%+v, want %+v)",
 				path, got, hdr)
 		}
 		for i, line := range lines[1:] {
@@ -70,32 +84,42 @@ func openJournal(path string, hdr journalHeader, log *slog.Logger) (*journal, ma
 				log.Warn("journal torn tail ignored", "path", path, "line", i+2)
 				break
 			}
+			if e.Stop != nil {
+				stop = e.Stop
+				continue
+			}
 			if e.Report == nil {
 				continue
 			}
 			rep, err := e.Report.Report()
 			if err != nil {
-				return nil, nil, fmt.Errorf("dist: journal %s: shard %d: %w", path, e.Shard, err)
+				return nil, nil, nil, fmt.Errorf("dist: journal %s: shard %d: %w", path, e.Shard, err)
 			}
 			recovered[e.Shard] = rep
 		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("dist: open journal: %w", err)
+		return nil, nil, nil, fmt.Errorf("dist: open journal: %w", err)
 	}
 	j := &journal{f: f}
 	if len(data) == 0 {
 		if err := j.writeLine(hdr); err != nil {
 			f.Close()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
-	return j, recovered, nil
+	return j, recovered, stop, nil
 }
 
 func (j *journal) append(shardID int, rep *WireReport) error {
 	return j.writeLine(journalEntry{Shard: shardID, Report: rep})
+}
+
+// appendStop records the convergence decision the coordinator stopped on.
+// Shard -1 marks the line as a non-shard record.
+func (j *journal) appendStop(eval *stats.Convergence) error {
+	return j.writeLine(journalEntry{Shard: -1, Stop: eval})
 }
 
 func (j *journal) writeLine(v any) error {

@@ -67,6 +67,15 @@ type CampaignSpec struct {
 	// process fans each shard out over (0 = GOMAXPROCS). A worker's own
 	// configuration may override it.
 	ShardWorkers int `json:"shard_workers,omitempty"`
+
+	// Stop is the campaign's adaptive stopping rule. Workers always run
+	// their shards to the end of the leased range — only the coordinator
+	// evaluates convergence, over sealed completed-shard counts, and it
+	// cancels outstanding leases by answering heartbeats with 410 once the
+	// rule fires. Keeping the decision off the workers makes it a pure
+	// function of which shards completed, so a journal replay reaches the
+	// same verdict.
+	Stop core.StopConfig `json:"stop,omitempty"`
 }
 
 // CampaignConfig materializes the spec into a runnable configuration for

@@ -2,6 +2,8 @@ package dist
 
 import (
 	"time"
+
+	"sfi/internal/stats"
 )
 
 // Status is the coordinator's full fleet view, served as JSON at
@@ -44,6 +46,13 @@ type Status struct {
 
 	Workers map[string]WorkerView `json:"workers,omitempty"`
 	ShardsV []ShardView           `json:"shard_states,omitempty"`
+
+	// Convergence is the live fleet-wide confidence-interval evaluation
+	// (same basis as Injections), present when the campaign runs with a
+	// stopping rule. The stop decision itself is made over sealed
+	// completed-shard counts only; StoppedEarly reports that it fired.
+	Convergence  *stats.Convergence `json:"convergence,omitempty"`
+	StoppedEarly bool               `json:"stopped_early,omitempty"`
 
 	ElapsedMs int64  `json:"elapsed_ms"`
 	Failed    bool   `json:"failed"`
@@ -100,6 +109,10 @@ func (c *Coordinator) Status() Status {
 	if len(snap.Outcomes) > 0 {
 		st.Outcomes = snap.Outcomes
 	}
+	if stop := c.cfg.Campaign.Stop; stop.Enabled() {
+		st.Convergence = snap.Convergence(outcomeClasses(), stop.Rule(), false)
+	}
+	st.StoppedEarly = c.stoppedEarly
 	if sec := elapsed.Seconds(); sec > 0 {
 		st.Rate = float64(snap.Injections) / sec
 		if st.Rate > 0 {

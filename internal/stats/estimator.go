@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Estimator folds a concurrent stream of classified campaign outcomes into
+// sequential Wilson intervals under a StopRule. Campaign workers call
+// Observe from their injection loops (lock-free: atomic counters, plus one
+// lazily-created row per unit/latch-class stratum); a monitor polls
+// Converged to drive early-stop and Snapshot for the full per-class view.
+// Class names are fixed at construction and indexed by outcome code, so the
+// hot path never touches a map for the global counters; index 0 (and any
+// other empty name) is padding for the invalid zero code, excluded from
+// evaluation.
+type Estimator struct {
+	rule    StopRule
+	classes []string
+	total   atomic.Int64
+	counts  []atomic.Int64
+	byUnit  sync.Map // unit name -> *stratumRow
+	byType  sync.Map // latch-class name -> *stratumRow
+}
+
+type stratumRow struct {
+	total  atomic.Int64
+	counts []atomic.Int64
+}
+
+// NewEstimator builds an estimator tracking the given classes (indexed by
+// outcome code; empty names are padding) under rule.
+func NewEstimator(classes []string, rule StopRule) *Estimator {
+	return &Estimator{
+		rule:    rule.normalized(),
+		classes: classes,
+		counts:  make([]atomic.Int64, len(classes)),
+	}
+}
+
+// Rule returns the (normalized) stopping rule the estimator evaluates.
+func (e *Estimator) Rule() StopRule { return e.rule }
+
+// Observe folds one classified injection: code is the outcome class index;
+// unit and latchType name the strata the sample belongs to (empty = skip
+// that breakdown). Safe for concurrent use; nil-safe (a nil estimator
+// ignores the call). Out-of-range codes are counted toward the total only.
+func (e *Estimator) Observe(code int, unit, latchType string) {
+	if e == nil {
+		return
+	}
+	e.total.Add(1)
+	if code >= 0 && code < len(e.counts) {
+		e.counts[code].Add(1)
+	}
+	if unit != "" {
+		e.stratum(&e.byUnit, unit).observe(code)
+	}
+	if latchType != "" {
+		e.stratum(&e.byType, latchType).observe(code)
+	}
+}
+
+func (e *Estimator) stratum(m *sync.Map, name string) *stratumRow {
+	if row, ok := m.Load(name); ok {
+		return row.(*stratumRow)
+	}
+	row, _ := m.LoadOrStore(name, &stratumRow{counts: make([]atomic.Int64, len(e.classes))})
+	return row.(*stratumRow)
+}
+
+func (s *stratumRow) observe(code int) {
+	s.total.Add(1)
+	if code >= 0 && code < len(s.counts) {
+		s.counts[code].Add(1)
+	}
+}
+
+// Total returns the number of samples observed so far.
+func (e *Estimator) Total() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.total.Load()
+}
+
+// Converged is the monitor's cheap poll: true once every tracked class's
+// interval is within the rule's margin (global classes only — strata are
+// informational). Counters are read individually; mid-injection skew of a
+// few samples only delays the verdict by one poll.
+func (e *Estimator) Converged() bool {
+	if e == nil || !e.rule.Enabled() {
+		return false
+	}
+	n := e.total.Load()
+	if n < int64(e.rule.MinPerClass) {
+		return false
+	}
+	for i, class := range e.classes {
+		if class == "" {
+			continue
+		}
+		lo, hi := SequentialWilson(int(e.counts[i].Load()), int(n), e.rule.Confidence)
+		if hi-lo > e.rule.TargetMargin {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot evaluates the rule over the counts observed so far. strata adds
+// the per-unit and per-type breakdowns. Nil-safe (returns nil).
+func (e *Estimator) Snapshot(strata bool) *Convergence {
+	if e == nil {
+		return nil
+	}
+	counts := make(map[string]int64, len(e.classes))
+	for i, class := range e.classes {
+		if class == "" {
+			continue
+		}
+		counts[class] = e.counts[i].Load()
+	}
+	c := e.rule.Eval(e.classes, counts, e.total.Load())
+	if strata {
+		c.AddStrata(e.rule, e.classes, e.strataCounts(&e.byUnit), e.strataCounts(&e.byType))
+	}
+	return c
+}
+
+func (e *Estimator) strataCounts(m *sync.Map) map[string]StratumCounts {
+	out := make(map[string]StratumCounts)
+	m.Range(func(key, value any) bool {
+		row := value.(*stratumRow)
+		counts := make(map[string]int64, len(e.classes))
+		for i, class := range e.classes {
+			if class == "" {
+				continue
+			}
+			counts[class] = row.counts[i].Load()
+		}
+		out[key.(string)] = StratumCounts{Counts: counts, Total: row.total.Load()}
+		return true
+	})
+	return out
+}

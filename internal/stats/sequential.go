@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// This file is the statistical core of adaptive campaigns: any-time-valid
+// Wilson intervals and the stopping rule that decides when a campaign has
+// answered its question. The paper's argument is that fault injection is a
+// statistical estimation problem — run *just enough* samples for a requested
+// margin of error at a requested confidence — and a streaming campaign that
+// peeks at its intervals after every sample needs sequential bounds, not the
+// fixed-n Wilson interval, or the repeated looks inflate the false-stop rate.
+
+// DefaultConfidence is the two-sided confidence level used when a StopRule
+// leaves Confidence unset.
+const DefaultConfidence = 0.95
+
+// DefaultMinPerClass is the minimum-samples floor used when a StopRule
+// leaves MinPerClass unset: a population's intervals are not eligible to
+// converge before it has seen this many samples, so rare classes (SDC,
+// checkstop) are never declared converged at n≈0.
+const DefaultMinPerClass = 50
+
+// ZForConfidence converts a two-sided confidence level in (0, 1) to the
+// standard-normal critical value (0.95 → ≈1.96).
+func ZForConfidence(confidence float64) float64 {
+	return math.Sqrt2 * math.Erfinv(confidence)
+}
+
+// SequentialZ is the any-time-valid critical value for a Wilson interval
+// inspected at sample size n. The total error budget α = 1-confidence is
+// spent continuously over doubling epochs: the look at sample size n is
+// charged α_n = α/((e+1)(e+2)) with e = log₂(n), which telescopes to at
+// most α across all n ≥ 1 — so intervals built with this z hold
+// simultaneously at every n, and a monitor may stop the first time the
+// width target is met without inflating the false-stop rate. The continuous
+// e (rather than ⌊log₂ n⌋ epoch stitching) makes the resulting interval
+// width strictly shrink with n, which the monotone-shrink test locks in.
+func SequentialZ(confidence float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	alpha := 1 - confidence
+	e := math.Log2(float64(n))
+	an := alpha / ((e + 1) * (e + 2))
+	return ZForConfidence(1 - an)
+}
+
+// SequentialWilson returns the any-time-valid Wilson interval for k
+// successes out of n samples at the given confidence: WilsonInterval
+// evaluated at the inflated SequentialZ critical value. For n == 0 it is
+// the vacuous (0, 1).
+func SequentialWilson(k, n int, confidence float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	return WilsonInterval(k, n, SequentialZ(confidence, n))
+}
+
+// StopRule is an adaptive campaign's stopping rule: stop once every tracked
+// outcome class's sequential Wilson interval is narrower than TargetMargin
+// at the Confidence level. The zero value is disabled (TargetMargin 0).
+type StopRule struct {
+	// TargetMargin is the maximum acceptable interval width (hi-lo) per
+	// class, as a fraction (0.02 = ±1 percentage point). <= 0 disables the
+	// rule.
+	TargetMargin float64 `json:"target_margin,omitempty"`
+
+	// Confidence is the two-sided confidence level the margin must hold at
+	// (default DefaultConfidence).
+	Confidence float64 `json:"confidence,omitempty"`
+
+	// MinPerClass is the minimum number of samples a population (the whole
+	// campaign, or a per-unit/per-type stratum) must have seen before its
+	// intervals may converge (default DefaultMinPerClass).
+	MinPerClass int `json:"min_per_class,omitempty"`
+}
+
+// Enabled reports whether the rule is active.
+func (r StopRule) Enabled() bool { return r.TargetMargin > 0 }
+
+// normalized fills in defaults so every consumer evaluates the same rule.
+func (r StopRule) normalized() StopRule {
+	if r.Confidence <= 0 || r.Confidence >= 1 {
+		r.Confidence = DefaultConfidence
+	}
+	if r.MinPerClass <= 0 {
+		r.MinPerClass = DefaultMinPerClass
+	}
+	return r
+}
+
+// ClassInterval is one outcome class's sequential Wilson interval at a
+// point in a campaign. The JSON field names are API surface (the /v1/status
+// convergence block and JSONL convergence events) — locked by a golden
+// test; change them only with a wire-version bump.
+type ClassInterval struct {
+	Class     string  `json:"class"`
+	K         int64   `json:"k"`
+	N         int64   `json:"n"`
+	Fraction  float64 `json:"fraction"`
+	Lo        float64 `json:"lo"`
+	Hi        float64 `json:"hi"`
+	Width     float64 `json:"width"`
+	Converged bool    `json:"converged"`
+}
+
+// Convergence is a point-in-time evaluation of a StopRule over a campaign's
+// per-class counts: the tracked classes' intervals, the overall verdict,
+// and the widest outstanding margin (what the progress line shows). JSON
+// field names are API surface — see ClassInterval.
+type Convergence struct {
+	Confidence   float64         `json:"confidence"`
+	TargetMargin float64         `json:"target_margin"`
+	MinPerClass  int             `json:"min_per_class"`
+	Total        int64           `json:"total"`
+	Converged    bool            `json:"converged"`
+	WidestClass  string          `json:"widest_class"`
+	WidestWidth  float64         `json:"widest_width"`
+	Classes      []ClassInterval `json:"classes"`
+
+	// Optional per-stratum breakdowns (per unit, per latch class). Each
+	// stratum is evaluated as its own population: its n is the stratum's
+	// sample count and the MinPerClass floor applies per stratum.
+	ByUnit map[string][]ClassInterval `json:"by_unit,omitempty"`
+	ByType map[string][]ClassInterval `json:"by_type,omitempty"`
+}
+
+// Intervals evaluates one population: for each class name (in order, empty
+// names skipped — they are code-index padding), the sequential Wilson
+// interval of counts[class] out of total, converged when the population has
+// met the MinPerClass floor and the width is within TargetMargin.
+func (r StopRule) Intervals(classes []string, counts map[string]int64, total int64) []ClassInterval {
+	r = r.normalized()
+	out := make([]ClassInterval, 0, len(classes))
+	for _, class := range classes {
+		if class == "" {
+			continue
+		}
+		k := counts[class]
+		ci := ClassInterval{Class: class, K: k, N: total}
+		ci.Lo, ci.Hi = SequentialWilson(int(k), int(total), r.Confidence)
+		ci.Width = ci.Hi - ci.Lo
+		if total > 0 {
+			ci.Fraction = float64(k) / float64(total)
+		}
+		ci.Converged = total >= int64(r.MinPerClass) && ci.Width <= r.TargetMargin
+		out = append(out, ci)
+	}
+	return out
+}
+
+// Eval evaluates the rule over a campaign's per-class counts: the campaign
+// has converged when every tracked class's interval has. Strata, when
+// non-nil, adds per-unit and per-type breakdowns (informational — they do
+// not gate the verdict; allocate more samples there if their margins
+// matter).
+func (r StopRule) Eval(classes []string, counts map[string]int64, total int64) *Convergence {
+	r = r.normalized()
+	c := &Convergence{
+		Confidence:   r.Confidence,
+		TargetMargin: r.TargetMargin,
+		MinPerClass:  r.MinPerClass,
+		Total:        total,
+		Converged:    true,
+		Classes:      r.Intervals(classes, counts, total),
+	}
+	for _, ci := range c.Classes {
+		if !ci.Converged {
+			c.Converged = false
+		}
+		if ci.Width > c.WidestWidth {
+			c.WidestWidth = ci.Width
+			c.WidestClass = ci.Class
+		}
+	}
+	return c
+}
+
+// AddStrata attaches per-stratum breakdowns, each stratum evaluated as its
+// own population via Intervals. The maps are keyed by stratum name; values
+// are per-class counts and the stratum's sample total.
+func (c *Convergence) AddStrata(r StopRule, classes []string, byUnit, byType map[string]StratumCounts) {
+	c.ByUnit = strataIntervals(r, classes, byUnit)
+	c.ByType = strataIntervals(r, classes, byType)
+}
+
+// StratumCounts is one stratum's per-class counts and sample total.
+type StratumCounts struct {
+	Counts map[string]int64
+	Total  int64
+}
+
+func strataIntervals(r StopRule, classes []string, strata map[string]StratumCounts) map[string][]ClassInterval {
+	if len(strata) == 0 {
+		return nil
+	}
+	out := make(map[string][]ClassInterval, len(strata))
+	names := make([]string, 0, len(strata))
+	for name := range strata {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := strata[name]
+		out[name] = r.Intervals(classes, s.Counts, s.Total)
+	}
+	return out
+}

@@ -30,6 +30,7 @@ import (
 	"sfi/internal/latch"
 	"sfi/internal/obs"
 	"sfi/internal/proc"
+	"sfi/internal/stats"
 	"sfi/internal/workload"
 
 	// Engine backends register themselves by import: every facade user can
@@ -91,6 +92,18 @@ type (
 	TraceOptions = obs.TraceOptions
 	// TraceEvent is one injection's structured lifecycle record.
 	TraceEvent = obs.TraceEvent
+
+	// StopConfig is a campaign's adaptive statistical stopping rule:
+	// sequential (any-time-valid) Wilson intervals per outcome class, with
+	// the campaign stopping once every class is inside the target margin.
+	// The zero value keeps the classic fixed-Flips behavior bit for bit.
+	StopConfig = core.StopConfig
+	// Convergence is a per-class confidence-interval evaluation of a
+	// campaign against a stopping rule, attached to adaptive Reports and
+	// carried live in Progress.
+	Convergence = stats.Convergence
+	// ClassInterval is one outcome class's sequential Wilson interval.
+	ClassInterval = stats.ClassInterval
 )
 
 // Outcome categories (the paper's Figure 1 vocabulary).
@@ -132,6 +145,13 @@ const (
 
 // Outcomes lists all outcome categories in reporting order.
 var Outcomes = core.Outcomes
+
+// WriteConvergencePrometheus renders a convergence evaluation as Prometheus
+// gauges under prefix (per-class interval bounds, widths and converged
+// flags). Nil c writes nothing.
+func WriteConvergencePrometheus(w io.Writer, prefix string, c *Convergence) error {
+	return obs.WriteConvergencePrometheus(w, prefix, c)
+}
 
 // Units lists the core's unit names in the paper's order (IFU, IDU, FXU,
 // FPU, LSU, RUT, Core).
