@@ -1,9 +1,9 @@
 GO ?= go
 # Output file for the `bench` record; override per PR, e.g.
-# `make bench BENCH=BENCH_pr8.json`.
-BENCH ?= BENCH_pr7.json
+# `make bench BENCH=BENCH_pr9.json`.
+BENCH ?= BENCH_pr8.json
 
-.PHONY: build bins test race vet bench overhead ci
+.PHONY: build bins test race vet bench overhead smoke ci
 
 build:
 	$(GO) build ./...
@@ -26,10 +26,12 @@ vet:
 # internal/emu, internal/awan (the gate engine cloned per worker),
 # internal/dist (the loopback coordinator+worker integration tests, HTTP
 # leases, fleet aggregation), internal/obs (concurrent metrics collectors,
-# fleet snapshot merging, trace sinks), and internal/stats (the lock-free
-# convergence estimator campaign workers feed concurrently).
+# fleet snapshot merging, trace sinks), internal/stats (the lock-free
+# convergence estimator campaign workers feed concurrently), internal/store
+# (the single-flight image cache cloned into concurrent campaigns) and
+# internal/server (the multi-campaign scheduler and its executors).
 race:
-	$(GO) test -race ./internal/core ./internal/engine/... ./internal/emu ./internal/awan ./internal/dist ./internal/obs ./internal/stats
+	$(GO) test -race ./internal/core ./internal/engine/... ./internal/emu ./internal/awan ./internal/dist ./internal/obs ./internal/stats ./internal/store ./internal/server
 
 # bench runs every benchmark once for a quick smoke, then has sfi-bench
 # re-measure the headline numbers and emit the machine-readable record to
@@ -47,4 +49,10 @@ bench:
 overhead:
 	$(GO) run ./cmd/sfi-bench -guard -baseline BENCH_baseline.json
 
-ci: vet build bins test race overhead
+# smoke is the campaign-service end-to-end gate: boot an sfi-server over a
+# fresh store, submit an adaptive campaign over real HTTP, watch it
+# converge, and pull the report, events, status and metrics back out.
+smoke:
+	$(GO) test -count=1 -run TestLoopbackSubmitConvergeReport ./internal/server
+
+ci: vet build bins test race overhead smoke

@@ -39,6 +39,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"sfi"
@@ -239,7 +240,13 @@ func run(addr string, a coordArgs) error {
 	}
 	srv := &http.Server{Handler: coord.Handler()}
 	go srv.Serve(ln)
-	defer srv.Close()
+	// Graceful drain (runs before the deferred coord.Close by LIFO): let
+	// in-flight /v1/complete posts land before the journal is sealed.
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx) //nolint:errcheck // past the deadline Close semantics apply
+	}()
 	log.Info("coordinator listening", "addr", ln.Addr().String(),
 		"endpoints", "POST /v1/lease, GET /v1/status, GET /progress, GET /metrics")
 
@@ -257,7 +264,9 @@ func run(addr string, a coordArgs) error {
 			"endpoints", "/debug/vars, /debug/pprof")
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM (the fleet-manager / container-runtime stop signal) drains
+	// exactly like ^C: Wait returns, HTTP drains, the journal seals.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	start := time.Now()
 	if a.progress {

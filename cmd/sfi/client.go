@@ -1,0 +1,257 @@
+package main
+
+// The sfi campaign-service client verbs: `sfi submit`, `sfi status`,
+// `sfi report` and `sfi cancel` talk to a running sfi-server, so the same
+// binary that runs local campaigns also drives the persistent service.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"sfi"
+	"sfi/internal/dist"
+	"sfi/internal/server"
+)
+
+// clientMain dispatches the service verbs; reports false when argv names
+// no verb and the classic local-campaign path should run instead.
+func clientMain(args []string) (bool, error) {
+	if len(args) == 0 {
+		return false, nil
+	}
+	switch args[0] {
+	case "submit":
+		return true, clientSubmit(args[1:])
+	case "status":
+		return true, clientStatus(args[1:])
+	case "report":
+		return true, clientReport(args[1:])
+	case "cancel":
+		return true, clientCancel(args[1:])
+	}
+	return false, nil
+}
+
+func clientSubmit(args []string) error {
+	fs := flag.NewFlagSet("sfi submit", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "http://localhost:8440", "campaign server base URL")
+		tenant    = fs.String("tenant", "", "tenant the campaign is scheduled under (fair-share weight; empty = default)")
+		flips     = fs.Int("flips", 10000, "number of latch bits to inject")
+		seed      = fs.Uint64("seed", 1, "sampling seed")
+		backend   = fs.String("backend", "", "engine backend (p6lite, awan; empty = p6lite)")
+		lanes     = fs.Int("lanes", 0, "simulation-lane word width for batch-capable backends")
+		unit      = fs.String("unit", "", "target one unit")
+		typ       = fs.String("type", "", "target one latch type")
+		macro     = fs.String("macro", "", "target latch groups by name prefix")
+		keep      = fs.Bool("keep-results", false, "retain per-injection results in the report")
+		shardSize = fs.Int("shard-size", 0, "injections per shard (0 = server default)")
+		margin    = fs.Float64("margin", 0, "adaptive stop: target per-class CI width in percentage points (0 = off)")
+		conf      = fs.Float64("confidence", 0.95, "confidence level for the -margin intervals")
+		stopConv  = fs.Bool("stop-on-converge", false, "stop the campaign once the -margin rule converges")
+		wait      = fs.Bool("wait", false, "poll until the campaign settles and print the final record")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	filter, err := filterArgs(*unit, *typ, *macro)
+	if err != nil {
+		return err
+	}
+	runner := sfi.DefaultRunnerConfig()
+	runner.Backend = *backend
+	if *lanes > 0 {
+		runner.BatchLanes = *lanes
+	}
+	var stop sfi.StopConfig
+	if *margin > 0 {
+		stop = sfi.StopConfig{TargetMargin: *margin / 100, Confidence: *conf, StopOnConverge: *stopConv}
+	} else if *stopConv {
+		return fmt.Errorf("-stop-on-converge needs a -margin")
+	}
+	spec := server.Spec{
+		Tenant: *tenant,
+		Campaign: dist.CampaignSpec{
+			Runner:      runner,
+			Seed:        *seed,
+			Flips:       *flips,
+			Filter:      filter,
+			KeepResults: *keep,
+			Stop:        stop,
+		},
+		ShardSize: *shardSize,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(*serverURL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var c server.Campaign
+	if err := decodeClient(resp, http.StatusCreated, &c); err != nil {
+		return err
+	}
+	if !*wait {
+		return printJSON(c)
+	}
+	for c.State == server.StateQueued || c.State == server.StateRunning {
+		time.Sleep(250 * time.Millisecond)
+		r, err := http.Get(*serverURL + "/v1/campaigns/" + c.ID)
+		if err != nil {
+			return err
+		}
+		if err := decodeClient(r, http.StatusOK, &c); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "\r%s: %-60s", c.ID, c.State)
+	}
+	fmt.Fprintln(os.Stderr)
+	return printJSON(c)
+}
+
+func clientStatus(args []string) error {
+	fs := flag.NewFlagSet("sfi status", flag.ExitOnError)
+	serverURL := fs.String("server", "http://localhost:8440", "campaign server base URL")
+	fs.Parse(args) //nolint:errcheck
+	url := *serverURL + "/v1/status"
+	if id := fs.Arg(0); id != "" {
+		url = *serverURL + "/v1/campaigns/" + id + "/status"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	var v json.RawMessage
+	if err := decodeClient(resp, http.StatusOK, &v); err != nil {
+		return err
+	}
+	return printJSON(v)
+}
+
+func clientReport(args []string) error {
+	fs := flag.NewFlagSet("sfi report", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "http://localhost:8440", "campaign server base URL")
+		jsonOut   = fs.Bool("json", false, "emit the stored report document as JSON")
+	)
+	fs.Parse(args) //nolint:errcheck
+	id := fs.Arg(0)
+	if id == "" {
+		return fmt.Errorf("usage: sfi report [-server URL] <campaign-id>")
+	}
+	resp, err := http.Get(*serverURL + "/v1/campaigns/" + id + "/report")
+	if err != nil {
+		return err
+	}
+	var doc server.ReportDoc
+	if err := decodeClient(resp, http.StatusOK, &doc); err != nil {
+		return err
+	}
+	if *jsonOut {
+		return printJSON(doc)
+	}
+	rep, err := doc.Report.Report()
+	if err != nil {
+		return err
+	}
+	rep.Convergence = doc.Convergence
+	if doc.StoppedEarly {
+		fmt.Printf("campaign stopped early at %d injections\n", rep.Total)
+	}
+	fmt.Print(rep)
+	if c := rep.Convergence; c != nil {
+		verdict := "converged"
+		if !c.Converged {
+			verdict = "NOT converged"
+		}
+		fmt.Printf("convergence: %s at n=%d — widest margin %s %.2f%% (target %.2f%% at %.0f%% confidence)\n",
+			verdict, c.Total, c.WidestClass, 100*c.WidestWidth,
+			100*c.TargetMargin, 100*c.Confidence)
+	}
+	return nil
+}
+
+func clientCancel(args []string) error {
+	fs := flag.NewFlagSet("sfi cancel", flag.ExitOnError)
+	serverURL := fs.String("server", "http://localhost:8440", "campaign server base URL")
+	fs.Parse(args) //nolint:errcheck
+	id := fs.Arg(0)
+	if id == "" {
+		return fmt.Errorf("usage: sfi cancel [-server URL] <campaign-id>")
+	}
+	req, err := http.NewRequest(http.MethodDelete, *serverURL+"/v1/campaigns/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return clientError(resp)
+	}
+	fmt.Println("cancelled", id)
+	return nil
+}
+
+// filterArgs mirrors the local path's exclusive -unit/-type/-macro rule in
+// wire form.
+func filterArgs(unit, typ, macro string) (dist.FilterSpec, error) {
+	set := 0
+	var f dist.FilterSpec
+	if unit != "" {
+		f = dist.FilterSpec{Kind: "unit", Arg: unit}
+		set++
+	}
+	if typ != "" {
+		f = dist.FilterSpec{Kind: "type", Arg: typ}
+		set++
+	}
+	if macro != "" {
+		f = dist.FilterSpec{Kind: "prefix", Arg: macro}
+		set++
+	}
+	if set > 1 {
+		return f, fmt.Errorf("use at most one of -unit, -type, -macro")
+	}
+	_, err := f.Filter()
+	return f, err
+}
+
+// decodeClient checks the status code and decodes the JSON body.
+func decodeClient(resp *http.Response, want int, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		return clientError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// clientError surfaces the server's {"error": ...} body.
+func clientError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
+	}
+	return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+func printJSON(v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}

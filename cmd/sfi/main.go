@@ -23,6 +23,13 @@
 //	sfi -flips 50000 -margin 1 -stop-on-converge
 //	                                       # adaptive: stop once every outcome
 //	                                       # class's 95% CI is ≤1 point wide
+//
+// Campaign-service verbs against a running sfi-server:
+//
+//	sfi submit -server http://host:8440 -flips 100000 -margin 1 -stop-on-converge
+//	sfi status -server http://host:8440 [id]
+//	sfi report -server http://host:8440 <id>
+//	sfi cancel -server http://host:8440 <id>
 package main
 
 import (
@@ -45,6 +52,16 @@ import (
 )
 
 func main() {
+	// Campaign-service verbs (submit/status/report/cancel against a
+	// running sfi-server) dispatch before the classic local-campaign
+	// flag path.
+	if handled, err := clientMain(os.Args[1:]); handled {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfi:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		flips    = flag.Int("flips", 1000, "number of latch bits to inject")
 		seed     = flag.Uint64("seed", 1, "sampling seed")

@@ -1,0 +1,52 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// backoff produces capped exponential retry delays with jitter for the
+// worker's lease poll when the coordinator is unreachable: a fleet of
+// workers that all lost the coordinator at once (it is restarting, or a
+// partition healed) would otherwise re-poll in lockstep and thunder over
+// it together. Delays start at base, double per consecutive failure up to
+// max, and each is jittered ±25% to de-synchronize the fleet. reset()
+// drops back to base on any successful response.
+type backoff struct {
+	base, max time.Duration
+	cur       time.Duration
+	// jitter maps a delay to its randomized value; the default draws
+	// uniformly from [3d/4, 5d/4). Tests substitute a deterministic one.
+	jitter func(d time.Duration) time.Duration
+}
+
+func newBackoff(base, max time.Duration) *backoff {
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &backoff{base: base, max: max}
+}
+
+// next returns the delay to sleep before the next retry and advances the
+// schedule.
+func (b *backoff) next() time.Duration {
+	if b.cur <= 0 {
+		b.cur = b.base
+	}
+	d := b.cur
+	if b.cur <= b.max/2 {
+		b.cur *= 2
+	} else {
+		b.cur = b.max
+	}
+	if b.jitter != nil {
+		return b.jitter(d)
+	}
+	return d*3/4 + time.Duration(rand.Int64N(int64(d)/2+1))
+}
+
+// reset returns the schedule to the base delay (coordinator heard from).
+func (b *backoff) reset() { b.cur = 0 }

@@ -1,0 +1,54 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// ident disables jitter so the schedule itself can be asserted exactly.
+func ident(d time.Duration) time.Duration { return d }
+
+func TestBackoffDoublesToCap(t *testing.T) {
+	b := newBackoff(100*time.Millisecond, time.Second)
+	b.jitter = ident
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := b.next(); got != w {
+			t.Fatalf("next()[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffResetsOnSuccess(t *testing.T) {
+	b := newBackoff(100*time.Millisecond, time.Second)
+	b.jitter = ident
+	b.next()
+	b.next()
+	b.reset()
+	if got := b.next(); got != 100*time.Millisecond {
+		t.Fatalf("after reset next() = %v, want the base delay", got)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		b := newBackoff(100*time.Millisecond, time.Second)
+		d := b.next()
+		if d < 75*time.Millisecond || d > 125*time.Millisecond {
+			t.Fatalf("jittered delay %v outside ±25%% of the 100ms base", d)
+		}
+	}
+}
+
+func TestBackoffCapAtLeastBase(t *testing.T) {
+	b := newBackoff(500*time.Millisecond, 100*time.Millisecond)
+	b.jitter = ident
+	for i := 0; i < 3; i++ {
+		if got := b.next(); got != 500*time.Millisecond {
+			t.Fatalf("next() = %v, want the base (cap below base is clamped up)", got)
+		}
+	}
+}

@@ -35,6 +35,18 @@ type WorkerConfig struct {
 	// (default 250ms).
 	PollEvery time.Duration
 
+	// PollMax caps the exponential backoff of lease polls while the
+	// coordinator is unreachable (default 8×PollEvery). Backoff starts at
+	// PollEvery, doubles per consecutive failure with ±25% jitter, and
+	// resets to PollEvery on any successful response.
+	PollMax time.Duration
+
+	// NewRunner overrides how the worker builds its prototype runner from
+	// a campaign's runner spec (nil = core.NewRunner). A server embedding
+	// workers in-process uses this to serve prototypes from a warm
+	// checkpoint-image cache instead of rebuilding per campaign.
+	NewRunner func(core.RunnerConfig) (*core.Runner, error)
+
 	// Client is the HTTP client ( nil = a default with a 30s timeout).
 	Client *http.Client
 
@@ -77,8 +89,9 @@ type WorkerConfig struct {
 // (and every concurrent model copy, via the usual warm-clone pool) reuses
 // it.
 type worker struct {
-	cfg WorkerConfig
-	log *slog.Logger
+	cfg   WorkerConfig
+	log   *slog.Logger
+	retry *backoff // lease-poll backoff while the coordinator is unreachable
 
 	proto *core.Runner
 	// protoCfg is the runner spec the prototype was built from; a spec
@@ -106,15 +119,30 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.TraceAttach == 0 {
 		cfg.TraceAttach = 32
 	}
-	w := &worker{cfg: cfg, log: cfg.Log.With("worker", cfg.ID)}
+	if cfg.PollMax <= 0 {
+		cfg.PollMax = 8 * cfg.PollEvery
+	}
+	w := &worker{
+		cfg:   cfg,
+		log:   cfg.Log.With("worker", cfg.ID),
+		retry: newBackoff(cfg.PollEvery, cfg.PollMax),
+	}
 	for {
 		lease, status, err := w.lease(ctx)
+		if err == nil {
+			// Any response — even 204 no-work — means the coordinator is
+			// back; drop the backoff to the base poll period.
+			w.retry.reset()
+		}
 		switch {
 		case err != nil:
-			// Coordinator unreachable (it may be restarting): back off and
-			// re-poll; ctx bounds the wait.
-			w.log.Warn("lease poll failed", "err", err)
-			if !sleep(ctx, cfg.PollEvery) {
+			// Coordinator unreachable (it may be restarting): back off
+			// exponentially with jitter so a fleet that lost its
+			// coordinator together doesn't re-poll in lockstep; ctx bounds
+			// the wait.
+			delay := w.retry.next()
+			w.log.Warn("lease poll failed", "err", err, "retry_in", delay.Round(time.Millisecond))
+			if !sleep(ctx, delay) {
 				return context.Cause(ctx)
 			}
 		case status == http.StatusGone:
@@ -266,7 +294,11 @@ func (w *worker) runShard(ctx context.Context, lease *leaseResponse) error {
 	}()
 
 	if w.proto == nil || !reflect.DeepEqual(w.protoCfg, ccfg.Runner) {
-		proto, err := core.NewRunner(ccfg.Runner)
+		build := w.cfg.NewRunner
+		if build == nil {
+			build = core.NewRunner
+		}
+		proto, err := build(ccfg.Runner)
 		if err != nil {
 			cancel(nil)
 			<-hbDone

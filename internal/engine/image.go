@@ -1,0 +1,28 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// ImageDigest is the content address of the warm checkpoint image a Config
+// builds: two configs with the same digest produce byte-identical warmed,
+// checkpointed backends (warm-up and checkpointing are deterministic
+// functions of the config), so a cached image built for one campaign can be
+// cloned into any other campaign with the same digest. The digest is the
+// SHA-256 of the config's canonical JSON encoding with the backend name
+// resolved ("" and "p6lite" are the same image). Config is all plain data
+// (no maps, fixed field order), so the encoding — and the digest — is
+// deterministic across processes.
+func ImageDigest(cfg Config) string {
+	cfg.Backend = Resolve(cfg.Backend)
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		// Config is plain serializable data by contract (it crosses the
+		// dist wire); a marshal failure is a programming error.
+		panic("engine: config not serializable: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,47 @@
+package engine
+
+import "testing"
+
+func TestImageDigestStable(t *testing.T) {
+	a := ImageDigest(DefaultConfig())
+	b := ImageDigest(DefaultConfig())
+	if a != b {
+		t.Fatalf("digest not deterministic: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("digest %q is not a sha256 hex string", a)
+	}
+}
+
+func TestImageDigestResolvesBackend(t *testing.T) {
+	blank := DefaultConfig()
+	named := DefaultConfig()
+	named.Backend = DefaultBackend
+	if ImageDigest(blank) != ImageDigest(named) {
+		t.Fatal("empty backend and the resolved default name must share one image")
+	}
+}
+
+func TestImageDigestSeparatesConfigs(t *testing.T) {
+	base := DefaultConfig()
+	cases := map[string]Config{}
+	c := base
+	c.Backend = "awan"
+	cases["backend"] = c
+	c = base
+	c.Window = base.Window + 1
+	cases["window"] = c
+	c = base
+	c.AVP.Testcases++
+	cases["workload"] = c
+	c = base
+	c.BatchLanes = 2
+	cases["lanes"] = c
+
+	ref := ImageDigest(base)
+	for name, cfg := range cases {
+		if ImageDigest(cfg) == ref {
+			t.Errorf("config change %q did not change the image digest", name)
+		}
+	}
+}

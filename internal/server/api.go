@@ -1,0 +1,247 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+
+	"sfi/internal/obs"
+)
+
+// Handler returns the server's REST API:
+//
+//	POST   /v1/campaigns                  submit a Spec, 201 + Campaign
+//	GET    /v1/campaigns                  list campaigns, newest first
+//	GET    /v1/campaigns/{id}             one campaign record
+//	DELETE /v1/campaigns/{id}             cancel (queued or running)
+//	GET    /v1/campaigns/{id}/status      record + live coordinator status
+//	GET    /v1/campaigns/{id}/report      stored report document (ETag'd)
+//	GET    /v1/campaigns/{id}/events      shard trace, JSONL
+//	ANY    /v1/campaigns/{id}/coord/...   passthrough to the campaign's
+//	                                      coordinator (external workers
+//	                                      can join a running campaign)
+//	GET    /v1/status                     server-wide status
+//	GET    /metrics                       Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/campaigns/{id}/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("/v1/campaigns/{id}/coord/{rest...}", s.handleCoord)
+	mux.HandleFunc("GET /v1/status", s.handleServerStatus)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, err := s.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errClosing) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/campaigns/"+c.ID)
+	writeJSON(w, http.StatusCreated, c)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, c)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	switch err := s.Cancel(r.PathValue("id")); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrFinished):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// CampaignStatus is the GET /v1/campaigns/{id}/status body: the stored
+// record plus, while running, the live coordinator fleet status.
+type CampaignStatus struct {
+	Campaign Campaign `json:"campaign"`
+	Coord    any      `json:"coord,omitempty"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c, ok := s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	out := CampaignStatus{Campaign: c}
+	if cs := s.CoordStatus(id); cs != nil {
+		out.Coord = cs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	data, hash, err := s.Report(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, ErrNotReady):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", `"`+hash+`"`)
+	w.Write(data) //nolint:errcheck
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Get(id); !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	f, err := os.Open(s.st.EventsPath(id))
+	if err != nil {
+		writeError(w, http.StatusNotFound, errors.New("server: campaign has no events yet"))
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	io.Copy(w, f) //nolint:errcheck
+}
+
+// handleCoord forwards a request to a running campaign's coordinator with
+// the /v1/campaigns/{id}/coord prefix stripped, so external sfi-worker
+// processes can join a server-managed campaign by pointing at this prefix.
+func (s *Server) handleCoord(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c := s.campaigns[id]
+	exec := s.running[id]
+	s.mu.Unlock()
+	if c == nil {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	if exec == nil || exec.coord == nil {
+		writeError(w, http.StatusGone, errors.New("server: campaign is not running"))
+		return
+	}
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/" + r.PathValue("rest")
+	exec.coord.Handler().ServeHTTP(w, r2)
+}
+
+func (s *Server) handleServerStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// handleMetrics serves the Prometheus text exposition format (hand
+// rolled; no client library in the dependency budget).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Status()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	write := func(format string, args ...any) {
+		fmt.Fprintf(bw, format, args...)
+	}
+	write("# HELP sfi_server_campaigns Campaigns by state.\n")
+	write("# TYPE sfi_server_campaigns gauge\n")
+	states := make([]string, 0, len(st.Campaigns))
+	for state := range st.Campaigns {
+		states = append(states, state)
+	}
+	sort.Strings(states)
+	for _, state := range states {
+		write("sfi_server_campaigns{state=%q} %d\n", state, st.Campaigns[state])
+	}
+	write("# HELP sfi_server_queue_depth Queued campaigns per tenant.\n")
+	write("# TYPE sfi_server_queue_depth gauge\n")
+	write("# HELP sfi_server_tenant_served_total Campaigns served per tenant.\n")
+	write("# TYPE sfi_server_tenant_served_total counter\n")
+	tenants := make([]string, 0, len(st.Tenants))
+	for name := range st.Tenants {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		write("sfi_server_queue_depth{tenant=%q} %d\n", name, st.Tenants[name].Queued)
+	}
+	for _, name := range tenants {
+		write("sfi_server_tenant_served_total{tenant=%q} %d\n", name, st.Tenants[name].Served)
+	}
+	write("# HELP sfi_server_image_cache_hits_total Warm checkpoint-image cache hits.\n")
+	write("# TYPE sfi_server_image_cache_hits_total counter\n")
+	write("sfi_server_image_cache_hits_total %d\n", st.ImageCache.Hits)
+	write("# HELP sfi_server_image_cache_misses_total Warm checkpoint-image cache misses.\n")
+	write("# TYPE sfi_server_image_cache_misses_total counter\n")
+	write("sfi_server_image_cache_misses_total %d\n", st.ImageCache.Misses)
+	write("# HELP sfi_server_image_cache_images Images held by the cache.\n")
+	write("# TYPE sfi_server_image_cache_images gauge\n")
+	write("sfi_server_image_cache_images %d\n", st.ImageCache.Images)
+	write("# HELP sfi_server_running Campaigns currently executing.\n")
+	write("# TYPE sfi_server_running gauge\n")
+	write("sfi_server_running %d\n", len(st.Running))
+}
+
+// eventsSink opens the campaign's append-mode shard trace (append so a
+// resumed campaign extends, not clobbers, its event history).
+func (s *Server) eventsSink(id string) (*obs.TraceSink, func(), error) {
+	f, err := os.OpenFile(s.st.EventsPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriter(f)
+	sink := obs.NewTraceSink(bw, obs.TraceOptions{})
+	flush := func() {
+		bw.Flush() //nolint:errcheck
+		f.Close()  //nolint:errcheck
+	}
+	return sink, flush, nil
+}

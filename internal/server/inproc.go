@@ -1,0 +1,61 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// handlerTransport serves HTTP round trips directly from an http.Handler,
+// no socket involved. The server's embedded campaign workers speak the
+// real dist lease protocol through it — same wire encoding, same status
+// codes — against the per-campaign coordinator living in the same
+// process.
+type handlerTransport struct {
+	h http.Handler
+}
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{header: make(http.Header), code: http.StatusOK}
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		StatusCode:    rec.code,
+		Status:        http.StatusText(rec.code),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          io.NopCloser(&rec.body),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// inprocClient wraps a coordinator handler as an *http.Client usable with
+// dist.WorkerConfig.Client.
+func inprocClient(h http.Handler) *http.Client {
+	return &http.Client{Transport: handlerTransport{h: h}}
+}
+
+// responseRecorder is the minimal http.ResponseWriter the coordinator
+// handlers need (header, status, body).
+type responseRecorder struct {
+	header http.Header
+	code   int
+	wrote  bool
+	body   bytes.Buffer
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.body.Write(p)
+}

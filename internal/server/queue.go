@@ -1,0 +1,143 @@
+package server
+
+import "sort"
+
+// fairQueue schedules queued campaigns across tenants by stride
+// scheduling: each tenant carries a virtual "pass" that advances by
+// 1/weight per campaign served, and pop always serves the backlogged
+// tenant with the smallest pass. Over any interval in which two tenants
+// both stay backlogged, their service counts converge to the ratio of
+// their weights; a tenant that goes idle re-joins at the current virtual
+// time instead of banking credit while away. Within a tenant, campaigns
+// run FIFO. The queue is not goroutine-safe; the server's mutex guards it.
+type fairQueue struct {
+	weights map[string]float64 // configured weights; missing tenants get 1
+	tenants map[string]*tenantQ
+}
+
+type tenantQ struct {
+	name   string
+	items  []string // campaign IDs, FIFO
+	pass   float64  // virtual time of this tenant's next service
+	served int
+}
+
+func newFairQueue(weights map[string]float64) *fairQueue {
+	return &fairQueue{weights: weights, tenants: make(map[string]*tenantQ)}
+}
+
+func (q *fairQueue) weight(tenant string) float64 {
+	if w, ok := q.weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// vtime is the current virtual time: the minimum pass over backlogged
+// tenants (0 when nothing is queued).
+func (q *fairQueue) vtime() float64 {
+	v, any := 0.0, false
+	for _, t := range q.tenants {
+		if len(t.items) == 0 {
+			continue
+		}
+		if !any || t.pass < v {
+			v, any = t.pass, true
+		}
+	}
+	return v
+}
+
+// push enqueues a campaign for a tenant.
+func (q *fairQueue) push(tenant, id string) {
+	t := q.tenants[tenant]
+	if t == nil {
+		t = &tenantQ{name: tenant}
+		q.tenants[tenant] = t
+	}
+	if len(t.items) == 0 {
+		// Joining (or re-joining) the backlog: start at the current virtual
+		// time so an idle period doesn't accumulate scheduling credit.
+		if v := q.vtime(); v > t.pass {
+			t.pass = v
+		}
+	}
+	t.items = append(t.items, id)
+}
+
+// pop dequeues the next campaign under the fair-share policy, reporting
+// false when nothing is queued. Ties break by tenant name, keeping the
+// schedule deterministic.
+func (q *fairQueue) pop() (id string, ok bool) {
+	var pick *tenantQ
+	for _, t := range q.tenants {
+		if len(t.items) == 0 {
+			continue
+		}
+		if pick == nil || t.pass < pick.pass || (t.pass == pick.pass && t.name < pick.name) {
+			pick = t
+		}
+	}
+	if pick == nil {
+		return "", false
+	}
+	id = pick.items[0]
+	pick.items = pick.items[1:]
+	pick.pass += 1 / q.weight(pick.name)
+	pick.served++
+	return id, true
+}
+
+// remove deletes a queued campaign wherever it sits (a cancelled
+// submission must never be served). Reports whether it was found.
+func (q *fairQueue) remove(id string) bool {
+	for _, t := range q.tenants {
+		for i, queued := range t.items {
+			if queued == id {
+				t.items = append(t.items[:i], t.items[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// depth is the total number of queued campaigns.
+func (q *fairQueue) depth() int {
+	n := 0
+	for _, t := range q.tenants {
+		n += len(t.items)
+	}
+	return n
+}
+
+// TenantView is one tenant's row in the server status.
+type TenantView struct {
+	Weight float64 `json:"weight"`
+	Queued int     `json:"queued"`
+	Served int     `json:"served"`
+	// Share is this tenant's fraction of all campaigns served so far.
+	Share float64 `json:"share,omitempty"`
+}
+
+// view summarizes every tenant the queue has seen (plus configured
+// weights), sorted map for deterministic JSON.
+func (q *fairQueue) view() map[string]TenantView {
+	totalServed := 0
+	names := make([]string, 0, len(q.tenants))
+	for name, t := range q.tenants {
+		totalServed += t.served
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]TenantView, len(names))
+	for _, name := range names {
+		t := q.tenants[name]
+		v := TenantView{Weight: q.weight(name), Queued: len(t.items), Served: t.served}
+		if totalServed > 0 {
+			v.Share = float64(t.served) / float64(totalServed)
+		}
+		out[name] = v
+	}
+	return out
+}

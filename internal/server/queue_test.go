@@ -1,0 +1,119 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFairQueueWeightedShare drives two tenants with unequal weights and
+// unequal backlogs through the stride scheduler and checks that service
+// converges to the configured 3:1 ratio while both stay backlogged.
+func TestFairQueueWeightedShare(t *testing.T) {
+	q := newFairQueue(map[string]float64{"a": 3, "b": 1})
+	for i := 0; i < 30; i++ {
+		q.push("a", fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < 10; i++ {
+		q.push("b", fmt.Sprintf("b%d", i))
+	}
+	counts := map[byte]int{}
+	for i := 0; i < 40; i++ {
+		id, ok := q.pop()
+		if !ok {
+			t.Fatalf("queue dry after %d pops, want 40", i)
+		}
+		counts[id[0]]++
+		// While both tenants are backlogged (first 8 full rounds), every
+		// window of 4 pops serves exactly 3 a's and 1 b.
+		if (i+1)%4 == 0 && i < 32 {
+			wantA, wantB := 3*(i+1)/4, (i+1)/4
+			if counts['a'] != wantA || counts['b'] != wantB {
+				t.Fatalf("after %d pops served a=%d b=%d, want %d:%d (weights 3:1)",
+					i+1, counts['a'], counts['b'], wantA, wantB)
+			}
+		}
+	}
+	if counts['a'] != 30 || counts['b'] != 10 {
+		t.Fatalf("final service a=%d b=%d, want 30:10", counts['a'], counts['b'])
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("empty queue served a campaign")
+	}
+}
+
+// TestFairQueueFIFOWithinTenant checks per-tenant FIFO ordering.
+func TestFairQueueFIFOWithinTenant(t *testing.T) {
+	q := newFairQueue(nil)
+	q.push("a", "first")
+	q.push("a", "second")
+	q.push("a", "third")
+	for _, want := range []string{"first", "second", "third"} {
+		if id, _ := q.pop(); id != want {
+			t.Fatalf("pop = %q, want %q (FIFO within a tenant)", id, want)
+		}
+	}
+}
+
+// TestFairQueueIdleRejoin checks that a tenant returning from idle joins
+// at the current virtual time instead of cashing in banked credit and
+// starving the tenant that stayed busy.
+func TestFairQueueIdleRejoin(t *testing.T) {
+	q := newFairQueue(nil)
+	for i := 0; i < 10; i++ {
+		q.push("a", fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < 6; i++ {
+		q.pop() // a's pass advances to 6 while b is idle
+	}
+	q.push("b", "b0")
+	q.push("b", "b1")
+	got := make([]byte, 0, 4)
+	for i := 0; i < 4; i++ {
+		id, _ := q.pop()
+		got = append(got, id[0])
+	}
+	if string(got) != "abab" {
+		t.Fatalf("service after rejoin = %q, want fair alternation %q", got, "abab")
+	}
+}
+
+// TestFairQueueRemove checks that a removed (cancelled) campaign is never
+// served and that removal reports presence accurately.
+func TestFairQueueRemove(t *testing.T) {
+	q := newFairQueue(nil)
+	q.push("a", "a0")
+	q.push("a", "a1")
+	q.push("a", "a2")
+	if !q.remove("a1") {
+		t.Fatal("remove of a queued campaign reported absent")
+	}
+	if q.remove("a1") {
+		t.Fatal("double remove reported present")
+	}
+	if q.depth() != 2 {
+		t.Fatalf("depth = %d after remove, want 2", q.depth())
+	}
+	for _, want := range []string{"a0", "a2"} {
+		if id, _ := q.pop(); id != want {
+			t.Fatalf("pop = %q, want %q (a1 was cancelled)", id, want)
+		}
+	}
+}
+
+// TestFairQueueView checks the tenant ledger the server status exposes.
+func TestFairQueueView(t *testing.T) {
+	q := newFairQueue(map[string]float64{"a": 2})
+	q.push("a", "a0")
+	q.push("b", "b0")
+	q.pop()
+	v := q.view()
+	if v["a"].Weight != 2 || v["b"].Weight != 1 {
+		t.Fatalf("weights = %v/%v, want 2/1", v["a"].Weight, v["b"].Weight)
+	}
+	if v["a"].Served+v["b"].Served != 1 {
+		t.Fatalf("served = %v, want exactly one service recorded", v)
+	}
+	if got := v["a"].Share + v["b"].Share; got != 1 {
+		t.Fatalf("shares sum to %v, want 1", got)
+	}
+}

@@ -1,0 +1,698 @@
+// Package server is the campaign-as-a-service layer: a persistent daemon
+// that accepts fault-injection campaign submissions over a REST API,
+// multiplexes them through a bounded-concurrency queue with weighted
+// fair-share scheduling across tenants, and executes each one on the
+// existing dist coordinator/worker machinery embedded in-process. All
+// durable state lives in a content-addressed store (internal/store):
+// finished reports are keyed by spec digest — resubmitting an identical
+// spec is served from the store without running anything — and the
+// expensive warm boot (AVP generation, warm-up, phased checkpoints) is
+// built once per checkpoint-image digest and cloned into every campaign
+// that shares it. Coordinator journals give crash-restart resume: a
+// server reopened over the same store re-queues interrupted campaigns and
+// their coordinators replay completed shards instead of redoing them.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"sfi/internal/core"
+	"sfi/internal/dist"
+	"sfi/internal/engine"
+	"sfi/internal/obs"
+	"sfi/internal/stats"
+	"sfi/internal/store"
+)
+
+// Campaign states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Config parameterizes a campaign server.
+type Config struct {
+	// Dir is the root of the content-addressed store (required).
+	Dir string
+
+	// MaxConcurrent bounds how many campaigns run at once (default 2);
+	// the rest wait in the fair-share queue.
+	MaxConcurrent int
+
+	// TenantWeights sets per-tenant scheduling weights; tenants not
+	// listed get weight 1. A weight-3 tenant is served 3 campaigns for
+	// every 1 of a weight-1 tenant while both have work queued.
+	TenantWeights map[string]float64
+
+	// ShardSize is the default injections-per-shard for campaigns that
+	// don't set their own (0 = the dist default, ~64 shards).
+	ShardSize int
+
+	// LeaseTTL is the shard lease TTL of embedded campaign coordinators
+	// (default 2s — heartbeats are in-process, so a short TTL is cheap
+	// and bounds resume loss).
+	LeaseTTL time.Duration
+
+	// PollEvery is the embedded worker's lease poll period (default 2ms).
+	PollEvery time.Duration
+
+	// ImageCacheSize bounds the warm checkpoint-image cache (default 4
+	// images).
+	ImageCacheSize int
+
+	// Log receives structured server lifecycle events (nil = silent).
+	Log *slog.Logger
+}
+
+// Spec is a campaign submission: the wire-serializable campaign plus
+// server-level placement.
+type Spec struct {
+	// Tenant attributes the campaign for fair-share scheduling
+	// ("" = "default").
+	Tenant string `json:"tenant,omitempty"`
+
+	// Campaign is the campaign to run, exactly as the dist layer defines
+	// it (backend, workload, sample size, filter, stopping rule, lanes
+	// via Runner.BatchLanes).
+	Campaign dist.CampaignSpec `json:"campaign"`
+
+	// ShardSize overrides the server's default injections-per-shard.
+	ShardSize int `json:"shard_size,omitempty"`
+}
+
+// Campaign is one submission's full lifecycle record — the JSON served by
+// GET /v1/campaigns/{id} and persisted in the store.
+type Campaign struct {
+	ID     string `json:"id"`
+	Seq    int64  `json:"seq"`
+	Tenant string `json:"tenant"`
+	Spec   Spec   `json:"spec"`
+
+	// Digest is the spec's content address: submissions with equal
+	// digests produce byte-identical reports, so the store serves later
+	// ones from the first one's stored report.
+	Digest string `json:"digest"`
+
+	// ImageDigest addresses the warm checkpoint image the campaign boots
+	// from; campaigns sharing it share one cached image.
+	ImageDigest string `json:"image_digest"`
+
+	State string `json:"state"`
+
+	// Dedup marks a campaign answered entirely from the store (a report
+	// with the same spec digest already existed).
+	Dedup bool `json:"dedup,omitempty"`
+	// ImageHit marks that the boot phase was served from the warm image
+	// cache instead of built from scratch.
+	ImageHit bool `json:"image_hit,omitempty"`
+	// BootMs is the boot phase latency: the time from the embedded
+	// worker asking for its prototype runner to having one (a full build
+	// on a cache miss, a clone on a hit).
+	BootMs float64 `json:"boot_ms,omitempty"`
+
+	ReportHash   string `json:"report_hash,omitempty"`
+	Injections   int    `json:"injections,omitempty"`
+	StoppedEarly bool   `json:"stopped_early,omitempty"`
+	Error        string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// ReportDoc is the stored (and served) form of a finished campaign
+// report. The wire report's metrics snapshot is stripped before storing:
+// timing histograms are nondeterministic, and the document must be a pure
+// function of the spec so content addressing dedups identical campaigns.
+type ReportDoc struct {
+	SpecDigest   string             `json:"spec_digest"`
+	Report       *dist.WireReport   `json:"report"`
+	Convergence  *stats.Convergence `json:"convergence,omitempty"`
+	StoppedEarly bool               `json:"stopped_early,omitempty"`
+}
+
+// Sentinel errors of the campaign API.
+var (
+	ErrNotFound  = errors.New("server: no such campaign")
+	ErrFinished  = errors.New("server: campaign already finished")
+	ErrNotReady  = errors.New("server: campaign has no report yet")
+	errClosing   = errors.New("server: shutting down")
+	errCancelled = errors.New("server: campaign cancelled")
+)
+
+// Server is a persistent multi-campaign daemon.
+type Server struct {
+	cfg     Config
+	st      *store.Store
+	log     *slog.Logger
+	images  *store.ImageCache
+	started time.Time
+
+	ctx      context.Context
+	shutdown context.CancelCauseFunc
+
+	mu        sync.Mutex
+	campaigns map[string]*Campaign
+	queue     *fairQueue
+	running   map[string]*execution
+	active    int
+	seq       int64
+	closed    bool
+	wake      chan struct{}
+
+	wg sync.WaitGroup // scheduler + campaign executors
+}
+
+// execution is the server's handle on one running campaign.
+type execution struct {
+	coord  *dist.Coordinator
+	cancel context.CancelCauseFunc
+}
+
+// New opens (or reopens) a campaign server over a store directory,
+// recovers persisted campaigns — queued and interrupted-running ones
+// re-enter the queue in submission order and resume from their journals —
+// and starts the scheduler.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("server: Config.Dir is required")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 2 * time.Second
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 2 * time.Millisecond
+	}
+	if cfg.Log == nil {
+		cfg.Log = obs.NopLogger()
+	}
+	st, err := store.Open(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		st:        st,
+		log:       cfg.Log,
+		images:    store.NewImageCache(cfg.ImageCacheSize),
+		started:   time.Now(),
+		ctx:       ctx,
+		shutdown:  cancel,
+		campaigns: make(map[string]*Campaign),
+		queue:     newFairQueue(cfg.TenantWeights),
+		running:   make(map[string]*execution),
+		wake:      make(chan struct{}, 1),
+	}
+	if err := s.recover(); err != nil {
+		cancel(errClosing)
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.scheduler()
+	return s, nil
+}
+
+// recover loads persisted campaign records and re-queues unfinished ones.
+func (s *Server) recover() error {
+	var resumed []*Campaign
+	err := s.st.LoadCampaigns(func(id string, data []byte) error {
+		var c Campaign
+		if err := json.Unmarshal(data, &c); err != nil {
+			return fmt.Errorf("server: campaign record %s: %w", id, err)
+		}
+		if c.State == StateRunning {
+			// The previous process died mid-campaign. Its journal holds the
+			// completed shards; re-queue and the coordinator replays them.
+			c.State = StateQueued
+			c.StartedAt = nil
+		}
+		s.campaigns[c.ID] = &c
+		if c.State == StateQueued {
+			resumed = append(resumed, &c)
+		}
+		if c.Seq >= s.seq {
+			s.seq = c.Seq + 1
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	slices.SortFunc(resumed, func(a, b *Campaign) int { return int(a.Seq - b.Seq) })
+	for _, c := range resumed {
+		s.queue.push(c.Tenant, c.ID)
+		if err := s.st.SaveCampaign(c.ID, *c); err != nil {
+			return err
+		}
+	}
+	if len(resumed) > 0 {
+		s.log.Info("campaigns recovered", "queued", len(resumed), "total", len(s.campaigns))
+	}
+	return nil
+}
+
+// Close drains the server: running campaigns are interrupted (their
+// journals keep their completed shards; a reopened server resumes them),
+// the scheduler stops, and all records are persisted.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.shutdown(errClosing)
+	s.poke()
+	s.wg.Wait()
+}
+
+func (s *Server) poke() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// specDigest computes the spec's content address with the backend name
+// and effective shard size resolved, so trivially-equal submissions
+// ("" vs "p6lite", explicit vs default shard size) share one report.
+func (s *Server) specDigest(spec Spec) string {
+	c := spec.Campaign
+	c.Runner.Backend = engine.Resolve(c.Runner.Backend)
+	return store.Digest(struct {
+		Campaign  dist.CampaignSpec `json:"campaign"`
+		ShardSize int               `json:"shard_size"`
+	}{c, s.shardSize(spec)})
+}
+
+// shardSize resolves a spec's effective injections-per-shard.
+func (s *Server) shardSize(spec Spec) int {
+	if spec.ShardSize > 0 {
+		return spec.ShardSize
+	}
+	return s.cfg.ShardSize
+}
+
+// Submit validates and enqueues a campaign. If the store already holds a
+// report for the same spec digest, the campaign completes immediately
+// (Dedup) without running anything.
+func (s *Server) Submit(spec Spec) (Campaign, error) {
+	if spec.Tenant == "" {
+		spec.Tenant = "default"
+	}
+	if spec.Campaign.Flips < 1 {
+		return Campaign{}, fmt.Errorf("server: campaign needs at least one flip")
+	}
+	if _, err := spec.Campaign.Filter.Filter(); err != nil {
+		return Campaign{}, err
+	}
+	backend := engine.Resolve(spec.Campaign.Runner.Backend)
+	if !slices.Contains(engine.Backends(), backend) {
+		return Campaign{}, fmt.Errorf("server: unknown backend %q (registered: %v)", backend, engine.Backends())
+	}
+
+	c := &Campaign{
+		ID:          newID(),
+		Tenant:      spec.Tenant,
+		Spec:        spec,
+		Digest:      s.specDigest(spec),
+		ImageDigest: engine.ImageDigest(spec.Campaign.Runner),
+		SubmittedAt: time.Now(),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Campaign{}, errClosing
+	}
+	c.Seq = s.seq
+	s.seq++
+	if hash, ok := s.st.ReportHash(c.Digest); ok {
+		// Content-addressed dedup: an identical spec already produced a
+		// report; serve it without running a single injection.
+		now := time.Now()
+		c.State = StateDone
+		c.Dedup = true
+		c.ReportHash = hash
+		c.FinishedAt = &now
+	} else {
+		c.State = StateQueued
+		s.queue.push(c.Tenant, c.ID)
+	}
+	s.campaigns[c.ID] = c
+	snap := *c
+	s.mu.Unlock()
+
+	if err := s.st.SaveCampaign(c.ID, snap); err != nil {
+		return Campaign{}, err
+	}
+	s.log.Info("campaign submitted", "campaign", c.ID, "tenant", c.Tenant,
+		"state", snap.State, "digest", c.Digest[:12], "image", c.ImageDigest[:12])
+	s.poke()
+	return snap, nil
+}
+
+// Cancel cancels a queued or running campaign. A queued campaign is
+// removed from the queue and will never lease a shard; a running one has
+// its coordinator context cancelled.
+func (s *Server) Cancel(id string) error {
+	s.mu.Lock()
+	c := s.campaigns[id]
+	if c == nil {
+		s.mu.Unlock()
+		return ErrNotFound
+	}
+	switch c.State {
+	case StateQueued:
+		s.queue.remove(id)
+		now := time.Now()
+		c.State = StateCancelled
+		c.FinishedAt = &now
+		snap := *c
+		s.mu.Unlock()
+		s.log.Info("queued campaign cancelled", "campaign", id)
+		return s.st.SaveCampaign(id, snap)
+	case StateRunning:
+		exec := s.running[id]
+		s.mu.Unlock()
+		if exec != nil {
+			exec.cancel(errCancelled)
+		}
+		s.log.Info("running campaign cancelled", "campaign", id)
+		return nil
+	default:
+		s.mu.Unlock()
+		return ErrFinished
+	}
+}
+
+// Get returns a campaign's record.
+func (s *Server) Get(id string) (Campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.campaigns[id]
+	if c == nil {
+		return Campaign{}, false
+	}
+	return *c, true
+}
+
+// List returns every campaign record, newest submission first.
+func (s *Server) List() []Campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out
+}
+
+// Report returns a finished campaign's stored report document plus its
+// object hash (the HTTP layer's ETag).
+func (s *Server) Report(id string) ([]byte, string, error) {
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil {
+		return nil, "", ErrNotFound
+	}
+	if c.State != StateDone {
+		return nil, "", ErrNotReady
+	}
+	return s.st.GetReport(c.Digest)
+}
+
+// CoordStatus returns the live coordinator fleet status of a running
+// campaign (nil when it isn't running).
+func (s *Server) CoordStatus(id string) *dist.Status {
+	s.mu.Lock()
+	exec := s.running[id]
+	var coord *dist.Coordinator
+	if exec != nil {
+		coord = exec.coord
+	}
+	s.mu.Unlock()
+	if coord == nil {
+		return nil
+	}
+	st := coord.Status()
+	return &st
+}
+
+// Status is the server-wide view served at GET /v1/status.
+type Status struct {
+	// Campaigns counts campaigns by state.
+	Campaigns map[string]int `json:"campaigns"`
+	// QueueDepth is the number of campaigns waiting to run.
+	QueueDepth    int      `json:"queue_depth"`
+	Running       []string `json:"running,omitempty"`
+	MaxConcurrent int      `json:"max_concurrent"`
+	// Tenants is the fair-share ledger: weight, backlog and service share
+	// per tenant.
+	Tenants map[string]TenantView `json:"tenants,omitempty"`
+	// ImageCache reports warm checkpoint-image reuse across campaigns.
+	ImageCache store.Stats `json:"image_cache"`
+	UptimeMs   int64       `json:"uptime_ms"`
+}
+
+// Status assembles the server-wide status.
+func (s *Server) Status() Status {
+	s.mu.Lock()
+	st := Status{
+		Campaigns:     make(map[string]int),
+		QueueDepth:    s.queue.depth(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		Tenants:       s.queue.view(),
+		UptimeMs:      time.Since(s.started).Milliseconds(),
+	}
+	for _, c := range s.campaigns {
+		st.Campaigns[c.State]++
+	}
+	for id := range s.running {
+		st.Running = append(st.Running, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(st.Running)
+	st.ImageCache = s.images.Stats()
+	return st
+}
+
+// scheduler pops queued campaigns under the fair-share policy whenever a
+// concurrency slot is free.
+func (s *Server) scheduler() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		for s.active < s.cfg.MaxConcurrent {
+			id, ok := s.queue.pop()
+			if !ok {
+				break
+			}
+			c := s.campaigns[id]
+			if c == nil || c.State != StateQueued {
+				continue // settled out of band (e.g. cancelled while queued)
+			}
+			s.startLocked(c)
+		}
+		s.mu.Unlock()
+		select {
+		case <-s.wake:
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) startLocked(c *Campaign) {
+	now := time.Now()
+	c.State = StateRunning
+	c.StartedAt = &now
+	ctx, cancel := context.WithCancelCause(s.ctx)
+	exec := &execution{cancel: cancel}
+	s.running[c.ID] = exec
+	s.active++
+	s.wg.Add(1)
+	go s.execute(ctx, c, exec)
+}
+
+// execute runs one campaign to a terminal state (or back to queued on
+// server shutdown) and persists the outcome.
+func (s *Server) execute(ctx context.Context, c *Campaign, exec *execution) {
+	defer s.wg.Done()
+	s.persist(c)
+	s.log.Info("campaign started", "campaign", c.ID, "tenant", c.Tenant)
+	err := s.runCampaign(ctx, c, exec)
+
+	s.mu.Lock()
+	now := time.Now()
+	cause := context.Cause(ctx)
+	switch {
+	case err == nil:
+		c.State = StateDone
+		c.FinishedAt = &now
+	case errors.Is(cause, errClosing):
+		// Shutdown, not failure: the journal holds the completed shards;
+		// back to the queue for the next process.
+		c.State = StateQueued
+		c.StartedAt = nil
+	case errors.Is(cause, errCancelled):
+		c.State = StateCancelled
+		c.FinishedAt = &now
+	default:
+		c.State = StateFailed
+		c.Error = err.Error()
+		c.FinishedAt = &now
+	}
+	delete(s.running, c.ID)
+	s.active--
+	snap := *c
+	s.mu.Unlock()
+
+	if serr := s.st.SaveCampaign(c.ID, snap); serr != nil {
+		s.log.Error("campaign record persist failed", "campaign", c.ID, "err", serr)
+	}
+	s.log.Info("campaign settled", "campaign", c.ID, "state", snap.State,
+		"injections", snap.Injections, "err", snap.Error)
+	s.poke()
+}
+
+func (s *Server) persist(c *Campaign) {
+	s.mu.Lock()
+	snap := *c
+	s.mu.Unlock()
+	if err := s.st.SaveCampaign(snap.ID, snap); err != nil {
+		s.log.Error("campaign record persist failed", "campaign", snap.ID, "err", err)
+	}
+}
+
+// runCampaign executes one campaign: a journal-backed dist coordinator
+// plus one embedded worker speaking the real lease protocol over the
+// in-process transport, with prototypes served from the warm image cache.
+func (s *Server) runCampaign(ctx context.Context, c *Campaign, exec *execution) error {
+	events, flushEvents, err := s.eventsSink(c.ID)
+	if err != nil {
+		return err
+	}
+	defer flushEvents()
+
+	coord, err := dist.NewCoordinator(dist.CoordConfig{
+		Campaign:   c.Spec.Campaign,
+		ShardSize:  s.shardSize(c.Spec),
+		LeaseTTL:   s.cfg.LeaseTTL,
+		Journal:    s.st.JournalPath(c.ID),
+		Log:        s.log.With("campaign", c.ID),
+		ShardTrace: events,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	s.mu.Lock()
+	exec.coord = coord
+	s.mu.Unlock()
+
+	// The boot-phase hook: prototypes come from the warm image cache, and
+	// the first request stamps the campaign's boot latency and hit flag.
+	factory := func(rc core.RunnerConfig) (*core.Runner, error) {
+		t0 := time.Now()
+		r, hit, err := s.images.Runner(rc)
+		if err != nil {
+			return nil, err
+		}
+		boot := time.Since(t0)
+		s.mu.Lock()
+		if c.BootMs == 0 {
+			c.BootMs = float64(boot.Nanoseconds()) / 1e6
+			c.ImageHit = hit
+		}
+		s.mu.Unlock()
+		return r, nil
+	}
+
+	// A worker-side error (bad backend, shard failure retries exhausted
+	// locally) must not leave Wait blocked on a fleet of zero workers.
+	waitCtx, cancelWait := context.WithCancelCause(ctx)
+	defer cancelWait(nil)
+	workerDone := make(chan error, 1)
+	go func() {
+		werr := dist.RunWorker(ctx, dist.WorkerConfig{
+			Coordinator: "http://inproc",
+			Client:      inprocClient(coord.Handler()),
+			ID:          "server-" + c.ID,
+			PollEvery:   s.cfg.PollEvery,
+			NewRunner:   factory,
+			Log:         s.log.With("campaign", c.ID),
+		})
+		if werr != nil && ctx.Err() == nil {
+			cancelWait(fmt.Errorf("server: embedded worker: %w", werr))
+		}
+		workerDone <- werr
+	}()
+
+	rep, err := coord.Wait(waitCtx)
+	<-workerDone
+	if err != nil {
+		return err
+	}
+
+	// Canonical report document: metrics stripped (timing histograms are
+	// nondeterministic), everything else a pure function of the spec —
+	// which is what makes the content address a dedup key and a resumed
+	// run byte-identical to an uninterrupted one.
+	wire := dist.EncodeReport(rep)
+	wire.Metrics = nil
+	stopped := coord.StopDecision() != nil
+	doc := ReportDoc{
+		SpecDigest:   c.Digest,
+		Report:       wire,
+		Convergence:  rep.Convergence,
+		StoppedEarly: stopped,
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	hash, err := s.st.PutReport(c.Digest, data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	c.ReportHash = hash
+	c.Injections = rep.Total
+	c.StoppedEarly = stopped
+	s.mu.Unlock()
+	return nil
+}
+
+// newID returns a fresh 16-hex-char campaign id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: " + err.Error()) // crypto/rand does not fail on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}

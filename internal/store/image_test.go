@@ -1,0 +1,129 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sfi/internal/core"
+	_ "sfi/internal/engine/p6lite" // default backend for real prototype builds
+)
+
+// tinyConfig is a runner spec small enough to build for real in tests.
+func tinyConfig(seed int) core.RunnerConfig {
+	cfg := core.DefaultRunnerConfig()
+	cfg.AVP.Testcases = 2
+	cfg.AVP.BodyOps = 4 + seed
+	return cfg
+}
+
+func TestImageCacheHitMiss(t *testing.T) {
+	c := NewImageCache(4)
+	var builds atomic.Int64
+	inner := c.build
+	c.build = func(cfg core.RunnerConfig) (*core.Runner, error) {
+		builds.Add(1)
+		return inner(cfg)
+	}
+
+	r1, hit, err := c.Runner(tinyConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first request reported a cache hit")
+	}
+	r2, hit, err := c.Runner(tinyConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second request for the same config missed")
+	}
+	if r1 == r2 {
+		t.Fatal("cache handed out the same runner twice (must clone)")
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("built %d prototypes, want 1", n)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Images != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 image", st)
+	}
+
+	// The clones actually work: both classify the same injection equally.
+	a, b := r1.RunInjection(3), r2.RunInjection(3)
+	if a.Outcome != b.Outcome {
+		t.Fatalf("clones disagree: %v vs %v", a.Outcome, b.Outcome)
+	}
+}
+
+func TestImageCacheSingleFlight(t *testing.T) {
+	c := NewImageCache(4)
+	var builds atomic.Int64
+	inner := c.build
+	c.build = func(cfg core.RunnerConfig) (*core.Runner, error) {
+		builds.Add(1)
+		return inner(cfg)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := c.Runner(tinyConfig(0)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("concurrent requests triggered %d builds, want 1 (single-flight)", n)
+	}
+}
+
+func TestImageCacheBuildErrorEvicted(t *testing.T) {
+	c := NewImageCache(4)
+	boom := errors.New("boom")
+	fail := true
+	inner := c.build
+	c.build = func(cfg core.RunnerConfig) (*core.Runner, error) {
+		if fail {
+			return nil, boom
+		}
+		return inner(cfg)
+	}
+	if _, _, err := c.Runner(tinyConfig(0)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the build error", err)
+	}
+	fail = false
+	if _, hit, err := c.Runner(tinyConfig(0)); err != nil || hit {
+		t.Fatalf("after a failed build, retry = (hit=%v, err=%v), want a fresh miss that succeeds", hit, err)
+	}
+}
+
+func TestImageCacheLRUBound(t *testing.T) {
+	c := NewImageCache(2)
+	var builds atomic.Int64
+	inner := c.build
+	c.build = func(cfg core.RunnerConfig) (*core.Runner, error) {
+		builds.Add(1)
+		return inner(cfg)
+	}
+	for _, seed := range []int{0, 1, 2} { // 3 distinct images into a 2-image cache
+		if _, _, err := c.Runner(tinyConfig(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Images != 2 {
+		t.Fatalf("cache holds %d images, want the 2-image bound", st.Images)
+	}
+	// Image 0 was least recently used and must have been evicted.
+	if _, hit, err := c.Runner(tinyConfig(0)); err != nil || hit {
+		t.Fatalf("evicted image reported (hit=%v, err=%v), want a rebuild miss", hit, err)
+	}
+	if n := builds.Load(); n != 4 {
+		t.Fatalf("built %d prototypes, want 4 (3 fills + 1 rebuild)", n)
+	}
+}
