@@ -1,7 +1,7 @@
 GO ?= go
 # Output file for the `bench` record; override per PR, e.g.
 # `make bench BENCH=BENCH_pr9.json`.
-BENCH ?= BENCH_pr8.json
+BENCH ?= BENCH_pr9.json
 
 .PHONY: build bins test race vet bench overhead smoke ci
 
@@ -42,9 +42,10 @@ bench:
 
 # overhead is the observability cost gate: BenchmarkInjection with the
 # no-op default must stay within 5% of the recorded baseline, the
-# metrics+trace-on path within 5% of the no-op path, and the distributed
+# metrics+trace-on path within 5% of the no-op path, the distributed
 # loopback campaign with fleet observability (heartbeat metric deltas,
-# trace attachment) within 5% of the observability-off loopback run. A
+# trace attachment) within 5% of the observability-off loopback run, and
+# campaign tracing (per-batch spans) within 5% of the untraced run. A
 # missing baseline file is recorded rather than failed (fresh machine).
 overhead:
 	$(GO) run ./cmd/sfi-bench -guard -baseline BENCH_baseline.json

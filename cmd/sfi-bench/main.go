@@ -21,7 +21,9 @@
 // injections-saved claim is measured, not asserted. Since PR 8 it boots an
 // in-process campaign server, submits two campaigns sharing a checkpoint
 // image, and fails unless the warm-cache campaign boots at least 5x
-// faster than the cold one:
+// faster than the cold one. Since PR 9 it pairs the same bit-parallel awan
+// campaign with campaign tracing off and on and fails if the span path
+// (per-batch spans, ring, critical-path doc) costs more than 5% wall time:
 //
 //	sfi-bench -guard -baseline BENCH_baseline.json
 //
@@ -116,6 +118,12 @@ type benchRecord struct {
 		OverheadPct float64 `json:"overhead_pct"`
 	} `json:"dist_loopback"`
 
+	Tracing struct {
+		OffMs       float64 `json:"off_ms"`
+		OnMs        float64 `json:"on_ms"`
+		OverheadPct float64 `json:"overhead_pct"`
+	} `json:"tracing"`
+
 	AwanLanes struct {
 		ScalarInjPerSec float64 `json:"scalar_inj_per_sec"`
 		LanesInjPerSec  float64 `json:"lanes_inj_per_sec"`
@@ -163,6 +171,15 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	fmt.Fprintf(os.Stderr, "sfi-bench: dist loopback %.0f ms off, %.0f ms on (overhead %+.2f%%)\n",
 		1000*distOff, 1000*distOn, 100*distOverhead)
 
+	fmt.Fprintln(os.Stderr, "sfi-bench: measuring campaign tracing (spans off/on)...")
+	traceOff, traceOn, err := measureTracingPaired(3)
+	if err != nil {
+		return err
+	}
+	traceOverhead := (traceOn - traceOff) / traceOff
+	fmt.Fprintf(os.Stderr, "sfi-bench: tracing %.0f ms off, %.0f ms on (overhead %+.2f%%)\n",
+		1000*traceOff, 1000*traceOn, 100*traceOverhead)
+
 	fmt.Fprintln(os.Stderr, "sfi-bench: measuring awan campaign (scalar vs 64-lane batch)...")
 	scalarInjS, lanesInjS, err := measureAwanLanesPaired(3)
 	if err != nil {
@@ -190,7 +207,7 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 		cache.coldBootMs, cache.warmBootMs, cache.speedup(), cache.coldMs, cache.warmMs)
 
 	if guard || record {
-		gerr := runGuard(baselinePath, record, offNs, overhead, distOverhead, laneSpeedup, cache.speedup())
+		gerr := runGuard(baselinePath, record, offNs, overhead, distOverhead, traceOverhead, laneSpeedup, cache.speedup())
 		if gerr != nil && !record {
 			// One fresh measurement before failing: a transient load burst
 			// inflates both measurements and passes the retry, while a real
@@ -204,6 +221,10 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 			if merr != nil {
 				return merr
 			}
+			tOff2, tOn2, merr := measureTracingPaired(3)
+			if merr != nil {
+				return merr
+			}
 			sc2, ln2, merr := measureAwanLanesPaired(3)
 			if merr != nil {
 				return merr
@@ -214,14 +235,16 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 			}
 			offNs, onNs = min(offNs, off2), min(onNs, on2)
 			distOff, distOn = min(distOff, dOff2), min(distOn, dOn2)
+			traceOff, traceOn = min(traceOff, tOff2), min(traceOn, tOn2)
 			scalarInjS, lanesInjS = max(scalarInjS, sc2), max(lanesInjS, ln2)
 			if cache2.speedup() > cache.speedup() {
 				cache = cache2
 			}
 			overhead = (onNs - offNs) / offNs
 			distOverhead = (distOn - distOff) / distOff
+			traceOverhead = (traceOn - traceOff) / traceOff
 			laneSpeedup = lanesInjS / scalarInjS
-			gerr = runGuard(baselinePath, false, offNs, overhead, distOverhead, laneSpeedup, cache.speedup())
+			gerr = runGuard(baselinePath, false, offNs, overhead, distOverhead, traceOverhead, laneSpeedup, cache.speedup())
 		}
 		if gerr != nil {
 			return gerr
@@ -277,6 +300,9 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	rec.DistLoopback.ObsOffMs = 1000 * distOff
 	rec.DistLoopback.ObsOnMs = 1000 * distOn
 	rec.DistLoopback.OverheadPct = 100 * distOverhead
+	rec.Tracing.OffMs = 1000 * traceOff
+	rec.Tracing.OnMs = 1000 * traceOn
+	rec.Tracing.OverheadPct = 100 * traceOverhead
 	rec.AwanLanes.ScalarInjPerSec = scalarInjS
 	rec.AwanLanes.LanesInjPerSec = lanesInjS
 	rec.AwanLanes.LaneSpeedup = laneSpeedup
@@ -302,13 +328,14 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	return nil
 }
 
-// runGuard enforces the three 5% budgets — no-op-observability regression
+// runGuard enforces the four 5% budgets — no-op-observability regression
 // against the recorded baseline, metrics-on overhead against the in-run
 // metrics-off measurement, fleet-observability (heartbeat piggyback +
-// trace attach) overhead on the distributed loopback path — plus the 8x
-// floor on the bit-parallel awan lane speedup and the 5x floor on the
-// campaign server's warm checkpoint-cache boot speedup.
-func runGuard(path string, record bool, offNsOp, overhead, distOverhead, laneSpeedup, cacheSpeedup float64) error {
+// trace attach) overhead on the distributed loopback path, campaign-span
+// tracing overhead on the batch path — plus the 8x floor on the
+// bit-parallel awan lane speedup and the 5x floor on the campaign
+// server's warm checkpoint-cache boot speedup.
+func runGuard(path string, record bool, offNsOp, overhead, distOverhead, traceOverhead, laneSpeedup, cacheSpeedup float64) error {
 	if overhead > tolerance {
 		return fmt.Errorf("observability overhead %.2f%% exceeds the %.0f%% budget",
 			100*overhead, 100*tolerance)
@@ -316,6 +343,10 @@ func runGuard(path string, record bool, offNsOp, overhead, distOverhead, laneSpe
 	if distOverhead > tolerance {
 		return fmt.Errorf("distributed fleet-observability overhead %.2f%% exceeds the %.0f%% budget",
 			100*distOverhead, 100*tolerance)
+	}
+	if traceOverhead > tolerance {
+		return fmt.Errorf("campaign tracing overhead %.2f%% exceeds the %.0f%% budget",
+			100*traceOverhead, 100*tolerance)
 	}
 	if laneSpeedup < laneSpeedupFloor {
 		return fmt.Errorf("awan lane speedup %.1fx is below the %.0fx floor",
@@ -498,6 +529,65 @@ func measureDistPaired(rounds int) (offSec, onSec float64, err error) {
 		}
 		if d < onBest {
 			onBest = d
+		}
+	}
+	return offBest.Seconds(), onBest.Seconds(), nil
+}
+
+// measureTracingPaired times the same bit-parallel awan campaign with
+// campaign tracing off (no tracer: every span site is a nil no-op) and on
+// (a live tracer minting per-batch engine spans into the bounded ring,
+// plus the TraceDoc build at the end) in interleaved rounds, keeping the
+// best wall time of each side. The batch path is the worst case for span
+// overhead: one span per model pass is the highest span rate any layer
+// produces. Each round cross-checks that both sides classified
+// identically — tracing must never perturb campaign results.
+func measureTracingPaired(rounds int) (offSec, onSec float64, err error) {
+	config := func() sfi.CampaignConfig {
+		c := sfi.DefaultCampaignConfig()
+		c.Runner.Backend = "awan"
+		c.Runner.Awan.Width = 8
+		c.Runner.Awan.Lanes = 16
+		c.Seed = 9
+		c.Flips = 384
+		c.Workers = 1
+		return c
+	}
+	side := func(traced bool) (time.Duration, *sfi.Report, error) {
+		cfg := config()
+		var tracer *sfi.Tracer
+		if traced {
+			tracer = sfi.NewTracer(cfg.Seed)
+			cfg.Obs.Tracer = tracer
+		}
+		t0 := time.Now()
+		rep, err := sfi.RunCampaign(cfg)
+		if err != nil {
+			return 0, nil, err
+		}
+		elapsed := time.Since(t0)
+		if traced {
+			if doc := tracer.Doc(); doc.Root == nil || doc.Spans == 0 {
+				return 0, nil, fmt.Errorf("traced campaign recorded no span tree")
+			}
+		}
+		return elapsed, rep, nil
+	}
+	offBest, onBest := time.Duration(1<<62), time.Duration(1<<62)
+	for round := 0; round < rounds; round++ {
+		d, offRep, err := side(false)
+		if err != nil {
+			return 0, 0, err
+		}
+		offBest = min(offBest, d)
+		d, onRep, err := side(true)
+		if err != nil {
+			return 0, 0, err
+		}
+		onBest = min(onBest, d)
+		if !reflect.DeepEqual(offRep.Counts, onRep.Counts) {
+			return 0, 0, fmt.Errorf("tracing perturbed campaign results: "+
+				"untraced counts %v, traced counts %v", offRep.Counts, onRep.Counts)
 		}
 	}
 	return offBest.Seconds(), onBest.Seconds(), nil

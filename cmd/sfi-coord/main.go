@@ -6,9 +6,13 @@
 // run of the same campaign — when the last shard lands.
 //
 // While the campaign runs the lease address also serves the fleet view:
-// GET /v1/status (per-shard state machine, per-worker rates, live totals),
-// GET /metrics (live fleet-wide Prometheus metrics, merged from worker
-// heartbeat deltas and completed-shard snapshots) and GET /progress.
+// GET /v1/status (per-shard state machine, per-worker rates, live totals,
+// latency attribution), GET /v1/trace (the campaign's causal span tree —
+// coordinator shard spans plus the worker-side spans carried home on shard
+// completions — with the critical path marked), GET /metrics (live
+// fleet-wide Prometheus metrics, merged from worker heartbeat deltas and
+// completed-shard snapshots, plus per-layer span histograms) and
+// GET /progress.
 // Lifecycle events (lease grants, requeues, completions) go to stderr as
 // structured JSON logs; -shard-trace records them as JSONL for post-hoc
 // forensics.
@@ -196,6 +200,9 @@ func run(addr string, a coordArgs) error {
 		MaxAttempts: a.attempts,
 		Journal:     a.journal,
 		Log:         log,
+		// Campaign tracing is always on: spans are per-shard and per-batch,
+		// so a whole campaign costs a few thousand ring entries.
+		Tracer: sfi.NewTracer(a.seed),
 	}
 
 	if a.shardTrace == "auto" {
@@ -248,7 +255,7 @@ func run(addr string, a coordArgs) error {
 		srv.Shutdown(sctx) //nolint:errcheck // past the deadline Close semantics apply
 	}()
 	log.Info("coordinator listening", "addr", ln.Addr().String(),
-		"endpoints", "POST /v1/lease, GET /v1/status, GET /progress, GET /metrics")
+		"endpoints", "POST /v1/lease, GET /v1/status, GET /v1/trace, GET /progress, GET /metrics")
 
 	if a.httpAddr != "" {
 		dln, err := net.Listen("tcp", a.httpAddr)
@@ -304,6 +311,12 @@ func run(addr string, a coordArgs) error {
 	log.Info("campaign merged", "injections", rep.Total,
 		"elapsed", time.Since(start).Round(time.Millisecond).String(),
 		"shards", coord.Progress().Shards)
+	if doc := coord.TraceDoc(); doc != nil && doc.Root != nil {
+		at := doc.Attribution
+		log.Info("latency attribution", "total_ms", int64(at.TotalMs),
+			"run_ms", int64(at.RunMs), "merge_ms", int64(at.MergeMs),
+			"other_ms", int64(at.OtherMs), "spans", doc.Spans, "trace", doc.TraceID)
+	}
 	if d := coord.StopDecision(); d != nil {
 		log.Info("converged early", "injections", d.Total, "budget", a.flips,
 			"widest_class", d.WidestClass, "widest_width", d.WidestWidth,

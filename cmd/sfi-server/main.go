@@ -14,9 +14,11 @@
 //	GET    /v1/campaigns/{id}/status    record + live coordinator fleet view
 //	GET    /v1/campaigns/{id}/report    stored report document
 //	GET    /v1/campaigns/{id}/events    shard trace (JSONL)
+//	GET    /v1/campaigns/{id}/trace     span tree, critical path, latency attribution
 //	       /v1/campaigns/{id}/coord/... lease passthrough for external workers
+//	GET    /v1/traces                   per-campaign trace summaries
 //	GET    /v1/status                   queue depth, tenant shares, cache stats
-//	GET    /metrics                     Prometheus text exposition
+//	GET    /metrics                     Prometheus text exposition (incl. span histograms)
 //
 // Examples:
 //
@@ -90,11 +92,12 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "event log level (debug, info, warn, error)")
 		logText   = flag.Bool("log-text", false, "logfmt-style text event logs instead of JSON")
 		drain     = flag.Duration("drain", 5*time.Second, "HTTP drain budget on shutdown")
+		httpAddr  = flag.String("http", "", "serve /debug/pprof and /debug/vars (expvar) on this separate address")
 	)
 	flag.Var(weights, "tenant-weight", "fair-share weight as name=weight (repeatable or comma-separated; unlisted tenants get 1)")
 	flag.Parse()
 
-	if err := run(*addr, server.Config{
+	if err := run(*addr, *httpAddr, server.Config{
 		Dir:            *dir,
 		MaxConcurrent:  *maxConc,
 		TenantWeights:  weights,
@@ -107,7 +110,7 @@ func main() {
 	}
 }
 
-func run(addr string, cfg server.Config, logLevel string, logText bool, drain time.Duration) error {
+func run(addr, httpAddr string, cfg server.Config, logLevel string, logText bool, drain time.Duration) error {
 	level, err := obs.ParseLogLevel(logLevel)
 	if err != nil {
 		return err
@@ -129,6 +132,20 @@ func run(addr string, cfg server.Config, logLevel string, logText bool, drain ti
 	go srv.Serve(ln)
 	log.Info("campaign server listening", "addr", ln.Addr().String(), "store", cfg.Dir,
 		"max_campaigns", cfg.MaxConcurrent)
+
+	// Debug listener, kept off the API address so operational surfaces
+	// (pprof heap dumps, expvar) never share a port with tenant traffic.
+	// pprof and expvar register themselves on the default mux at init.
+	if httpAddr != "" {
+		dln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			s.Close()
+			return err
+		}
+		go http.Serve(dln, nil) //nolint:errcheck
+		log.Info("debug listener up", "addr", dln.Addr().String(),
+			"endpoints", "/debug/pprof, /debug/vars")
+	}
 
 	// SIGTERM and ^C both drain gracefully: stop accepting requests, then
 	// interrupt running campaigns so their journals seal — a restarted

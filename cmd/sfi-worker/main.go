@@ -43,6 +43,7 @@ func main() {
 		trace    = flag.String("trace", "", "local JSONL injection trace file ('' = off)")
 		sample   = flag.Int("trace-sample", 0, "record every Nth injection to -trace (0 = all)")
 		attach   = flag.Int("trace-attach", 32, "sampled trace lines attached per shard completion (negative = off)")
+		spans    = flag.Int("span-attach", 512, "campaign spans attached per shard completion when the coordinator traces (negative = disable span recording)")
 		logLevel = flag.String("log-level", "info", "event log level (debug, info, warn, error)")
 		logText  = flag.Bool("log-text", false, "logfmt-style text event logs instead of JSON")
 		httpAddr = flag.String("http", "", "debug listener: /debug/vars, /debug/pprof, /metrics, /progress")
@@ -52,7 +53,7 @@ func main() {
 
 	if err := run(workerArgs{
 		coord: *coord, id: *id, workers: *workers, poll: *poll,
-		trace: *trace, sample: *sample, attach: *attach,
+		trace: *trace, sample: *sample, attach: *attach, spans: *spans,
 		logLevel: *logLevel, logText: *logText, httpAddr: *httpAddr,
 		quiet: *quiet,
 	}); err != nil {
@@ -67,6 +68,7 @@ type workerArgs struct {
 	poll           time.Duration
 	trace          string
 	sample, attach int
+	spans          int
 	logLevel       string
 	logText        bool
 	httpAddr       string
@@ -122,6 +124,7 @@ func run(a workerArgs) error {
 		Log:         log,
 		TraceSample: a.sample,
 		TraceAttach: a.attach,
+		SpanAttach:  a.spans,
 	}
 
 	var traceFlush func() error

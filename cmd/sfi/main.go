@@ -274,17 +274,21 @@ func run(a campaignArgs) error {
 	// coordinator and N loopback workers — the full sfi-coord/sfi-worker
 	// lease protocol over real HTTP, one process.
 	if a.dist > 0 {
-		rep, elapsed, err := runDist(a, cfg)
+		rep, elapsed, doc, err := runDist(a, cfg)
 		if err != nil {
 			return err
 		}
-		return emit(a, rep, elapsed)
+		return emit(a, rep, elapsed, doc)
 	}
 
 	// Observability: metrics are always collected (the end-of-run summary
 	// is rendered from the snapshot; measured overhead is <5%, see
-	// EXPERIMENTS.md).
+	// EXPERIMENTS.md), and so are campaign spans — they are per-batch, not
+	// per-injection, so the ring costs microseconds per campaign and feeds
+	// the end-of-run latency attribution line.
 	cfg.Obs.Metrics = true
+	tracer := sfi.NewTracer(cfg.Seed)
+	cfg.Obs.Tracer = tracer
 
 	var traceFlush func() error
 	if a.trace != "" {
@@ -295,6 +299,10 @@ func run(a campaignArgs) error {
 		bw := bufio.NewWriterSize(f, 1<<20)
 		sink := sfi.NewTraceSink(bw, sfi.TraceOptions{Sample: a.traceSample})
 		cfg.Obs.Trace = sink
+		// Mirror the campaign spans into the same JSONL stream (span lines
+		// carry trace_id/span fields, injection events carry seq/outcome —
+		// the two record shapes coexist).
+		tracer.SetSink(sink)
 		traceFlush = func() error {
 			if err := bw.Flush(); err != nil {
 				return err
@@ -352,16 +360,18 @@ func run(a campaignArgs) error {
 		return err
 	}
 	if traceFlush != nil {
+		tracer.SetSink(nil)
 		if err := traceFlush(); err != nil {
 			return err
 		}
 	}
-	return emit(a, rep, elapsed)
+	return emit(a, rep, elapsed, tracer.Doc())
 }
 
 // emit renders a finished campaign report (shared by the local and
-// distributed paths).
-func emit(a campaignArgs, rep *sfi.Report, elapsed time.Duration) error {
+// distributed paths). doc, when non-nil, is the campaign's span tree and
+// feeds the latency-attribution summary line.
+func emit(a campaignArgs, rep *sfi.Report, elapsed time.Duration, doc *sfi.TraceDoc) error {
 	if a.metrics != "" {
 		out := os.Stdout
 		if a.metrics != "-" {
@@ -388,7 +398,7 @@ func emit(a campaignArgs, rep *sfi.Report, elapsed time.Duration) error {
 		return nil
 	}
 
-	printSummary(rep, elapsed)
+	printSummary(rep, elapsed, doc)
 	if a.detail {
 		fmt.Print(rep.DetailedString()) // includes the convergence line
 	} else {
@@ -457,7 +467,7 @@ func reportUnits(rep *sfi.Report) []string {
 // in-process coordinator on a loopback listener and a.dist workers driving
 // the real lease/heartbeat/complete protocol over HTTP. The merged report
 // is identical (same seed → same outcomes) to the local path's.
-func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration, error) {
+func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration, *sfi.TraceDoc, error) {
 	var fs dist.FilterSpec
 	switch {
 	case a.unit != "":
@@ -487,14 +497,15 @@ func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration
 			Stop:         cfg.Stop,
 		},
 		ShardSize: a.shardSize,
+		Tracer:    sfi.NewTracer(cfg.Seed),
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer coord.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	srv := &http.Server{Handler: coord.Handler()}
 	go srv.Serve(ln)
@@ -544,7 +555,7 @@ func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration
 		fmt.Fprintln(os.Stderr)
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	if d := coord.StopDecision(); d != nil {
 		fmt.Fprintf(os.Stderr, "converged early: %d of %d injections (widest class %s at %.2f%%, target %.2f%%)\n",
@@ -553,10 +564,10 @@ func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration
 	// Workers exit on their own once the coordinator answers 410.
 	for i := 0; i < a.dist; i++ {
 		if werr := <-workerErr; werr != nil {
-			return nil, 0, werr
+			return nil, 0, nil, werr
 		}
 	}
-	return rep, elapsed, nil
+	return rep, elapsed, coord.TraceDoc(), nil
 }
 
 // renderProgress draws one live progress line to w (carriage-return
@@ -567,8 +578,8 @@ func renderProgress(w *os.File, p sfi.Progress) {
 }
 
 // printSummary renders the end-of-run summary from the campaign's metrics
-// snapshot.
-func printSummary(rep *sfi.Report, elapsed time.Duration) {
+// snapshot and, when a span tree exists, its latency attribution.
+func printSummary(rep *sfi.Report, elapsed time.Duration, doc *sfi.TraceDoc) {
 	s := rep.Metrics
 	if s == nil {
 		fmt.Printf("campaign finished in %v (%d injections)\n",
@@ -579,7 +590,10 @@ func printSummary(rep *sfi.Report, elapsed time.Duration) {
 	if rep.Workers > 0 && elapsed > 0 {
 		util = float64(s.BusyNs) / (float64(rep.Workers) * float64(elapsed.Nanoseconds()))
 	}
-	fmt.Printf("campaign: %d injections in %v — %.1f inj/s, %d workers (%.0f%% busy)\n",
+	// Rates are labeled explicitly: with a bit-parallel backend one model
+	// pass retires many injections, so injections/s and batches/s differ by
+	// the mean lane occupancy.
+	fmt.Printf("campaign: %d injections in %v — %.1f injections/s, %d workers (%.0f%% busy)\n",
 		s.Injections, elapsed.Round(time.Millisecond),
 		float64(s.Injections)/elapsed.Seconds(), rep.Workers, 100*util)
 	fmt.Printf("restore:  p50 %v  p95 %v  (%d restores)\n",
@@ -587,8 +601,9 @@ func printSummary(rep *sfi.Report, elapsed time.Duration) {
 		time.Duration(s.RestoreNs.Quantile(0.95)).Round(time.Microsecond),
 		s.Restores)
 	if s.Batches > 0 {
-		fmt.Printf("batch:    %d passes, mean %.1f lanes/pass (p95 %d)\n",
-			s.Batches, s.LaneOccupancy.Mean(), s.LaneOccupancy.Quantile(0.95))
+		fmt.Printf("batch:    %d passes — %.1f batches/s, mean %.1f lanes/pass (p95 %d)\n",
+			s.Batches, float64(s.Batches)/elapsed.Seconds(),
+			s.LaneOccupancy.Mean(), s.LaneOccupancy.Quantile(0.95))
 	}
 	fmt.Printf("observe:  p50 %d  p95 %d cycles/injection  (%d cycles total)\n",
 		s.PropagateCycles.Quantile(0.5), s.PropagateCycles.Quantile(0.95), s.Cycles)
@@ -596,5 +611,10 @@ func printSummary(rep *sfi.Report, elapsed time.Duration) {
 		fmt.Printf("detect:   p50 %d  p95 %d cycles to first checker  (%d detected)\n",
 			s.DetectCycles.Quantile(0.5), s.DetectCycles.Quantile(0.95),
 			s.DetectCycles.Count)
+	}
+	if doc != nil && doc.Root != nil {
+		at := doc.Attribution
+		fmt.Printf("latency:  %.0fms total — run %.0fms, merge %.0fms, other %.0fms (critical path over %d spans)\n",
+			at.TotalMs, at.RunMs+at.ImageMs+at.QueueMs, at.MergeMs, at.OtherMs, doc.Spans)
 	}
 }

@@ -157,6 +157,18 @@ type ObsConfig struct {
 	// injection (subject to the sink's own sampling/bounding).
 	Trace *obs.TraceSink
 
+	// Tracer, when non-nil, records causal campaign spans — sampling and
+	// batch planning, per-batch engine passes, report merge, and the
+	// enclosing campaign.run span — parented under Parent. This is the
+	// local half of end-to-end campaign tracing: a distributed worker
+	// passes the shard span's context here so the core spans chain back to
+	// the server's root span across processes.
+	Tracer *obs.Tracer
+
+	// Parent is the span context campaign spans parent under (the zero
+	// value makes campaign.run a root span, the standalone-`sfi` case).
+	Parent obs.SpanContext
+
 	// Progress, when non-nil, is called periodically from a dedicated
 	// goroutine while the campaign runs (never concurrently with itself),
 	// and once more after the last injection completes. Setting it
@@ -475,6 +487,13 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 		return nil, fmt.Errorf("core: campaign of %d flips exceeds the filtered population of %d bits",
 			cfg.Flips, total)
 	}
+	// Campaign tracing: campaign.run encloses the whole local run; its
+	// children are the sample/plan span, one span per bit-parallel batch
+	// pass (recorded by the runners), and the merge span. All tracer and
+	// span calls are nil-safe, so the untraced path takes no branches
+	// beyond these calls themselves.
+	runSp := cfg.Obs.Tracer.StartSpan("campaign.run", "core", cfg.Obs.Parent)
+	sampleSp := cfg.Obs.Tracer.StartSpan("sample", "core", runSp.Context())
 	bits := SampleCampaignBits(first.DB(), cfg.Seed, cfg.Flips, cfg.Filter)
 	if cfg.Shard != nil {
 		s := *cfg.Shard
@@ -497,6 +516,10 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 		batchSize = 1
 	}
 	batches := planBatches(bits, first.Backend().Phases(), batchSize)
+	sampleSp.AttrInt("flips", int64(cfg.Flips)).
+		AttrInt("injections", int64(len(bits))).
+		AttrInt("batches", int64(len(batches))).
+		End()
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -534,6 +557,7 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 	// Unconditional: also detaches any collector a previous campaign on a
 	// reused prototype (RunCampaignWith) left behind.
 	first.SetObs(workerObs(0), cfg.Obs.Trace)
+	first.SetSpan(cfg.Obs.Tracer, runSp.Context())
 
 	// Adaptive statistical stop: workers stream every classified outcome
 	// into a shared sequential-interval estimator. The dispatch loop polls
@@ -669,6 +693,7 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 				return
 			}
 			r.SetObs(workerObs(w), cfg.Obs.Trace)
+			r.SetSpan(cfg.Obs.Tracer, runSp.Context())
 			worker(r)
 		}()
 	}
@@ -744,9 +769,14 @@ drain:
 				distinct = append(distinct, e)
 			}
 		}
-		return nil, errors.Join(distinct...)
+		err := errors.Join(distinct...)
+		if runSp != nil {
+			runSp.Attr("error", err.Error()).End()
+		}
+		return nil, err
 	}
 
+	mergeSp := cfg.Obs.Tracer.StartSpan("merge", "core", runSp.Context())
 	rep := newReport()
 	if dispatched == len(batches) {
 		for _, res := range results {
@@ -784,12 +814,16 @@ drain:
 		// ours again; it dedups whatever the ticks already reported.
 		emitConvergenceEvents(cfg.Obs.Trace, rep.Convergence, seen, true)
 	}
+	mergeSp.AttrInt("injections", int64(rep.Total)).End()
 	if cfg.Obs.Progress != nil {
 		// One final, complete update (the ticker goroutine has stopped, so
 		// this never races with a periodic call).
 		p := ProgressFrom(rep.Metrics, len(bits), workers, start)
 		p.Convergence = rep.Convergence
 		cfg.Obs.Progress(p)
+	}
+	if runSp != nil {
+		runSp.AttrInt("injections", int64(rep.Total)).AttrInt("workers", int64(workers)).End()
 	}
 	return rep, nil
 }

@@ -57,6 +57,12 @@ type Runner struct {
 	// inherit them (each campaign worker gets its own collector).
 	obs   *obs.Metrics
 	trace *obs.TraceSink
+
+	// Campaign tracing (nil = off): tracer records one causal span per
+	// bit-parallel batch pass, parented under spanCtx. Set via SetSpan;
+	// clones do not inherit it.
+	tracer  *obs.Tracer
+	spanCtx obs.SpanContext
 }
 
 // NewRunner builds, warms and checkpoints a runner on the backend
@@ -85,6 +91,17 @@ func (r *Runner) SetObs(m *obs.Metrics, trace *obs.TraceSink) {
 	r.obs = m
 	r.trace = trace
 	r.be.SetObs(m)
+}
+
+// SetSpan attaches a campaign tracer: each bit-parallel batch pass then
+// records one "batch" span (lane occupancy, restore/run split, quiesce
+// exits) parented under parent. Nil detaches (the default). The scalar
+// per-injection path is deliberately not spanned — injection lifecycle
+// detail already flows through the trace sink, and a span per injection
+// would put allocation on the hot path.
+func (r *Runner) SetSpan(tr *obs.Tracer, parent obs.SpanContext) {
+	r.tracer = tr
+	r.spanCtx = parent
 }
 
 // Clone duplicates a warmed runner without re-running warm-up and
@@ -278,9 +295,23 @@ func (r *Runner) RunInjectionBatch(bits []int) []Result {
 	if observed {
 		t0 = time.Now()
 	}
+	sp := r.tracer.StartSpan("batch", "engine", r.spanCtx)
 	brs, err := bb.RunBatch(ckIdx, injs, r.cfg.Window, r.cfg.QuiesceExit)
 	if err != nil {
 		panic(err) // bits come from the database's own sampling
+	}
+	if sp != nil {
+		sp.AttrInt("lanes", int64(len(bits))).
+			AttrInt("max_lanes", int64(bb.MaxBatch())).
+			AttrInt("checkpoint", int64(ckIdx))
+		if rep, ok := r.be.(engine.BatchStatsReporter); ok {
+			st := rep.LastBatchStats()
+			sp.AttrInt("restore_ns", st.RestoreNs).
+				AttrInt("cycles", int64(st.Cycles)).
+				AttrInt("barriers", int64(st.Barriers)).
+				AttrInt("quiesced", int64(st.Quiesced))
+		}
+		sp.End()
 	}
 	// The pass's wall time is shared work: attribute an equal share to
 	// each injection so rate and busy metrics stay comparable with the

@@ -55,6 +55,20 @@ type CoordConfig struct {
 	// the after-the-fact forensics trail for requeue storms and straggler
 	// workers.
 	ShardTrace *obs.TraceSink
+
+	// Tracer, when non-nil, records the campaign's causal span tree: one
+	// "shard" span per lease (grant to completion or loss), the worker
+	// spans attached to shard completions, and — when Parent is zero — a
+	// root "campaign" span covering the whole coordinator run. Leases
+	// carry each shard span's context to the worker as a traceparent, so
+	// worker and engine spans parent under it across processes. The tree
+	// is served at GET /v1/trace.
+	Tracer *obs.Tracer
+
+	// Parent is the span context coordinator spans parent under — the
+	// executor span of an embedding server. The zero value makes the
+	// coordinator open its own root span.
+	Parent obs.SpanContext
 }
 
 type shardStatus int
@@ -76,6 +90,8 @@ type shard struct {
 	leasedAt time.Time // grant time of the current lease
 	lastBeat time.Time // last heartbeat of the current lease (zero until one arrives)
 	liveInj  uint64    // injections reported via heartbeat deltas this lease
+
+	span *obs.Span // the current lease's "shard" span (nil untraced)
 }
 
 // fleetKey names the shard's stream in the fleet aggregator.
@@ -108,6 +124,12 @@ type Coordinator struct {
 	// Coordinator-side latency histograms (lock-free).
 	completionMs obs.Hist // lease grant → completion, per completed shard
 	beatGapMs    obs.Hist // observed heartbeat silence beyond 2× the expected period
+
+	// Campaign tracing: shard spans parent under spanParent — the
+	// embedding server's executor span, or rootSp when the coordinator
+	// opened its own root (standalone sfi-coord).
+	spanParent obs.SpanContext
+	rootSp     *obs.Span
 
 	mu       sync.Mutex
 	shards   []*shard
@@ -167,6 +189,15 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		stopReaper:   make(chan struct{}),
 		reaperDone:   make(chan struct{}),
 		sealedCounts: make(map[string]int64),
+	}
+	if cfg.Tracer != nil {
+		c.spanParent = cfg.Parent
+		if !cfg.Parent.Valid() {
+			// Standalone coordinator: open the trace's root span ourselves.
+			c.rootSp = cfg.Tracer.StartSpan("campaign", "coord", obs.SpanContext{}).
+				AttrInt("flips", int64(cfg.Campaign.Flips))
+			c.spanParent = c.rootSp.Context()
+		}
 	}
 	for id, r := range core.PlanShards(cfg.Campaign.Flips, cfg.ShardSize) {
 		c.shards = append(c.shards, &shard{
@@ -311,6 +342,10 @@ func (c *Coordinator) lastSignalLocked(s *shard) time.Time {
 }
 
 func (c *Coordinator) requeueLocked(s *shard, why string) {
+	if s.span != nil {
+		s.span.Attr("error", why).End()
+		s.span = nil
+	}
 	s.status = shardPending
 	s.owner = ""
 	s.lastBeat = time.Time{}
@@ -344,6 +379,10 @@ func (c *Coordinator) finishLocked() {
 	select {
 	case <-c.finished:
 	default:
+		if c.rootSp != nil {
+			c.rootSp.AttrInt("shards_done", int64(c.done)).End()
+			c.rootSp = nil
+		}
 		close(c.finished)
 	}
 }
@@ -351,6 +390,13 @@ func (c *Coordinator) finishLocked() {
 func (c *Coordinator) markDoneLocked(s *shard, rep *core.Report) {
 	if s.status == shardDone {
 		return
+	}
+	if s.span != nil {
+		if rep != nil {
+			s.span.AttrInt("injections", int64(rep.Total))
+		}
+		s.span.End()
+		s.span = nil
 	}
 	s.status = shardDone
 	s.owner = ""
@@ -558,6 +604,8 @@ func (c *Coordinator) StopDecision() *stats.Convergence {
 //	POST /v1/fail       give a shard back after a worker-side error
 //	GET  /v1/status     full fleet status, JSON (per-shard state machine,
 //	                    per-worker rates, live totals, rate/ETA)
+//	GET  /v1/trace      the campaign's causal span tree with critical path
+//	                    and latency attribution, JSON (empty untraced)
 //	GET  /progress      campaign progress, JSON
 //	GET  /metrics       live fleet-wide metrics (in-flight shard deltas +
 //	                    completed shard snapshots) plus coordinator shard
@@ -575,14 +623,26 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Progress())
 	})
+	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.TraceDoc())
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		snap := c.FleetSnapshot()
 		snap.WritePrometheus(w, "sfi")
 		c.writeCoordMetrics(w)
 		obs.WriteConvergencePrometheus(w, "sfi", c.Convergence())
+		c.cfg.Tracer.WriteSpanHists(w, "sfi")
 	})
 	return mux
+}
+
+// TraceDoc returns the campaign's span tree with its computed critical
+// path and latency attribution — the coordinator's equivalent of the
+// server's /v1/campaigns/{id}/trace. Empty when the coordinator runs
+// without a Tracer.
+func (c *Coordinator) TraceDoc() *obs.TraceDoc {
+	return c.cfg.Tracer.Doc()
 }
 
 // writeCoordMetrics appends the coordinator's own shard-ledger metrics to
@@ -649,12 +709,18 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	s.lastBeat = time.Time{}
 	s.liveInj = 0
 	s.deadline = now.Add(c.cfg.LeaseTTL)
+	s.span = c.cfg.Tracer.StartSpan("shard", "coord", c.spanParent).
+		AttrInt("shard", int64(s.ID)).
+		AttrInt("lo", int64(s.Lo)).AttrInt("hi", int64(s.Hi)).
+		Attr("worker", req.Worker).
+		AttrInt("attempt", int64(s.attempts))
 	c.shardEvent(s, "lease", nil)
 	c.log.Debug("lease granted", "shard", s.ID, "worker", req.Worker, "attempt", s.attempts)
 	resp := leaseResponse{
-		Shard:    s.ShardLease,
-		Campaign: c.cfg.Campaign,
-		TTLMs:    c.cfg.LeaseTTL.Milliseconds(),
+		Shard:       s.ShardLease,
+		Campaign:    c.cfg.Campaign,
+		TTLMs:       c.cfg.LeaseTTL.Milliseconds(),
+		Traceparent: s.span.Context().Traceparent(),
 	}
 	c.mu.Unlock()
 	writeJSON(w, resp)
@@ -686,7 +752,11 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	// before it grows into a lease expiry.
 	if gap, expect := now.Sub(c.lastSignalLocked(s)), c.cfg.LeaseTTL/3; gap > 2*expect {
 		c.beatGapMs.Observe(uint64(gap.Milliseconds()))
-		c.shardEvent(s, "heartbeat_gap", func(ev *obs.ShardEvent) { ev.GapMs = gap.Milliseconds() })
+		c.shardEvent(s, "heartbeat_gap", func(ev *obs.ShardEvent) {
+			ev.GapMs = gap.Milliseconds()
+			// Correlate the gap with the worker's span tree.
+			ev.Detail = req.Traceparent
+		})
 		c.log.Warn("heartbeat gap", "shard", s.ID, "worker", req.Worker,
 			"gap", gap.Round(time.Millisecond))
 	}
@@ -783,6 +853,12 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 				Shard: s.ID, Worker: req.Worker, Injection: line,
 			})
 		}
+	}
+	// Import the worker's finished spans: they already carry the trace ID
+	// and parent chain (lease traceparent → shard.run → core → engine), so
+	// adding them to the ring completes the cross-process tree.
+	for _, sp := range req.Spans {
+		c.cfg.Tracer.Add(sp)
 	}
 	c.markDoneLocked(s, rep)
 	w.WriteHeader(http.StatusOK)

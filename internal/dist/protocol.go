@@ -229,10 +229,20 @@ type (
 		Shard    ShardLease   `json:"shard"`
 		Campaign CampaignSpec `json:"campaign"`
 		TTLMs    int64        `json:"ttl_ms"`
+		// Traceparent is the W3C-style trace context of the coordinator's
+		// shard span ("" when the coordinator runs untraced). A worker
+		// that receives one parents its shard.run span — and, through it,
+		// the core campaign and per-batch engine spans — under it, so the
+		// causal tree stays connected across the process boundary.
+		Traceparent string `json:"traceparent,omitempty"`
 	}
 	heartbeatRequest struct {
 		Worker string `json:"worker"`
 		Shard  int    `json:"shard"`
+		// Traceparent echoes the worker's shard.run span context so
+		// coordinator-side heartbeat forensics (gap events) correlate with
+		// the worker's spans.
+		Traceparent string `json:"traceparent,omitempty"`
 		// Delta is the piggybacked metrics increment since the worker's
 		// previous heartbeat for this shard (obs.Snapshot.Sub of successive
 		// cumulative snapshots; nil when the worker has nothing new or runs
@@ -252,6 +262,11 @@ type (
 		// trace (JSONL lines as emitted by obs.TraceSink), forwarded into
 		// the coordinator's shard trace for post-hoc forensics.
 		Trace []json.RawMessage `json:"trace,omitempty"`
+		// Spans is the shard's finished campaign spans (shard.run, the
+		// core campaign spans, per-batch engine passes), carried home so
+		// the coordinator's trace ring holds the whole cross-process tree.
+		// Bounded by the worker's SpanAttach.
+		Spans []obs.Span `json:"spans,omitempty"`
 	}
 	failRequest struct {
 		Worker string `json:"worker"`

@@ -3,6 +3,7 @@ package dist
 import (
 	"time"
 
+	"sfi/internal/obs"
 	"sfi/internal/stats"
 )
 
@@ -28,11 +29,16 @@ type Status struct {
 	Injections uint64 `json:"injections"`
 	Total      int    `json:"injections_total"`
 
-	// Rate is fleet-wide injections per second since coordinator start;
+	// Rate is fleet-wide *injections* per second since coordinator start;
 	// EtaMs extrapolates it over the remaining injections (0 when the
-	// rate is still unknown).
-	Rate  float64 `json:"rate_per_sec"`
-	EtaMs int64   `json:"eta_ms,omitempty"`
+	// rate is still unknown). With a bit-parallel backend one model pass
+	// retires many injections, so the injection rate and the pass rate
+	// differ by the mean lane occupancy — BatchesPerSec reports the pass
+	// rate explicitly (absent for scalar campaigns) so the two are never
+	// conflated.
+	Rate          float64 `json:"rate_per_sec"`
+	BatchesPerSec float64 `json:"batches_per_sec,omitempty"`
+	EtaMs         int64   `json:"eta_ms,omitempty"`
 
 	// Utilization is the fleet-wide fraction of worker-model wall time
 	// spent injecting, busy-nanoseconds over (workers × elapsed). It
@@ -53,6 +59,11 @@ type Status struct {
 	// completed-shard counts only; StoppedEarly reports that it fired.
 	Convergence  *stats.Convergence `json:"convergence,omitempty"`
 	StoppedEarly bool               `json:"stopped_early,omitempty"`
+
+	// Latency is the campaign's critical-path latency attribution, derived
+	// from the coordinator's span tree (present only when the coordinator
+	// runs with a Tracer and spans have been recorded).
+	Latency *obs.Attribution `json:"latency,omitempty"`
 
 	ElapsedMs int64  `json:"elapsed_ms"`
 	Failed    bool   `json:"failed"`
@@ -115,12 +126,19 @@ func (c *Coordinator) Status() Status {
 	st.StoppedEarly = c.stoppedEarly
 	if sec := elapsed.Seconds(); sec > 0 {
 		st.Rate = float64(snap.Injections) / sec
+		if snap.Batches > 0 {
+			st.BatchesPerSec = float64(snap.Batches) / sec
+		}
 		if st.Rate > 0 {
 			remaining := float64(st.Total) - float64(snap.Injections)
 			if remaining > 0 {
 				st.EtaMs = int64(remaining / st.Rate * 1000)
 			}
 		}
+	}
+	if t := c.cfg.Tracer; t != nil && t.Total() > 0 {
+		doc := t.Doc()
+		st.Latency = &doc.Attribution
 	}
 
 	st.ShardsV = make([]ShardView, 0, len(c.shards))

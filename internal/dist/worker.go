@@ -11,10 +11,12 @@ import (
 	"net/http"
 	"os"
 	"reflect"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"sfi/internal/core"
+	"sfi/internal/engine"
 	"sfi/internal/obs"
 )
 
@@ -70,6 +72,16 @@ type WorkerConfig struct {
 	// instead of tracing every injection.
 	TraceAttach int
 
+	// SpanAttach bounds the campaign spans attached to each shard
+	// completion (default 512; negative disables span recording for this
+	// worker entirely). Spans are only recorded when the lease carries a
+	// traceparent — an untraced coordinator costs the worker nothing.
+	// When a shard finishes with more spans than the bound, the most
+	// recent ones are kept: structural spans (shard.run, campaign.run,
+	// merge) finish last, so the tree's spine survives and only early
+	// per-batch spans are shed.
+	SpanAttach int
+
 	// OnProgress, when non-nil, receives periodic progress of the shard
 	// this worker is currently executing — the hook worker-local debug
 	// endpoints hang off.
@@ -118,6 +130,9 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 	if cfg.TraceAttach == 0 {
 		cfg.TraceAttach = 32
+	}
+	if cfg.SpanAttach == 0 {
+		cfg.SpanAttach = 512
 	}
 	if cfg.PollMax <= 0 {
 		cfg.PollMax = 8 * cfg.PollEvery
@@ -253,6 +268,30 @@ func (w *worker) runShard(ctx context.Context, lease *leaseResponse) error {
 	var live atomic.Pointer[obs.Snapshot]
 	capture := w.shardObs(&ccfg, sh, ttl, &live)
 
+	// When the lease carries a traceparent, join the coordinator's trace:
+	// a local tracer (ID stream decorrelated from the coordinator's by
+	// mixing the shard ID into the seed) minting spans under the adopted
+	// trace ID, with the shard.run span parented on the coordinator's
+	// shard span. The finished spans ride home on the completion message.
+	var tracer *obs.Tracer
+	var shardSp *obs.Span
+	tp := ""
+	if pctx, ok := obs.ParseTraceparent(lease.Traceparent); ok && w.cfg.SpanAttach > 0 {
+		// Seed the local ID stream from the propagated parent span ID: the
+		// coordinator drew it from its own stream, so it is unique per shard
+		// and already decorrelated from every other tracer in the trace
+		// (a shard ordinal would collide with the coordinator's own
+		// seq-derived stream whenever the ordinals coincide).
+		pid, _ := strconv.ParseUint(pctx.SpanID, 16, 64)
+		tracer = obs.NewTracer(lease.Campaign.Seed ^ engine.Splitmix64(pid))
+		tracer.SetTraceID(pctx.TraceID)
+		shardSp = tracer.StartSpan("shard.run", "worker", pctx).
+			Attr("worker", id).AttrInt("lo", int64(sh.Lo)).AttrInt("hi", int64(sh.Hi))
+		ccfg.Obs.Tracer = tracer
+		ccfg.Obs.Parent = shardSp.Context()
+		tp = shardSp.Context().Traceparent()
+	}
+
 	// Heartbeat from lease grant until the shard finishes, covering the
 	// (expensive, once-per-process) prototype build below as well as the
 	// run itself; a refused heartbeat (lease lost, campaign over) cancels
@@ -271,7 +310,7 @@ func (w *worker) runShard(ctx context.Context, lease *leaseResponse) error {
 			case <-shardCtx.Done():
 				return
 			case <-t.C:
-				hb := heartbeatRequest{Worker: id, Shard: sh.ID}
+				hb := heartbeatRequest{Worker: id, Shard: sh.ID, Traceparent: tp}
 				cur := live.Load()
 				if cur != nil {
 					if d := cur.Sub(lastSent); !d.Empty() {
@@ -294,17 +333,20 @@ func (w *worker) runShard(ctx context.Context, lease *leaseResponse) error {
 	}()
 
 	if w.proto == nil || !reflect.DeepEqual(w.protoCfg, ccfg.Runner) {
+		bsp := tracer.StartSpan("prototype.build", "worker", shardSp.Context())
 		build := w.cfg.NewRunner
 		if build == nil {
 			build = core.NewRunner
 		}
 		proto, err := build(ccfg.Runner)
 		if err != nil {
+			bsp.Attr("error", err.Error()).End()
 			cancel(nil)
 			<-hbDone
 			w.fail(sh.ID, err)
 			return fmt.Errorf("dist: worker %s: build runner: %w", id, err)
 		}
+		bsp.End()
 		w.proto, w.protoCfg = proto, ccfg.Runner
 	}
 
@@ -315,9 +357,10 @@ func (w *worker) runShard(ctx context.Context, lease *leaseResponse) error {
 
 	switch {
 	case runErr == nil:
+		shardSp.AttrInt("injections", int64(rep.Total)).End()
 		log.Info("shard complete", "injections", rep.Total,
 			"elapsed", time.Since(start).Round(time.Millisecond))
-		return w.complete(sh.ID, rep, capture)
+		return w.complete(sh.ID, rep, capture, tracer)
 	case errors.Is(context.Cause(shardCtx), errLeaseLost):
 		log.Warn("lease lost, abandoning shard")
 		return nil
@@ -334,10 +377,16 @@ var errLeaseLost = errors.New("dist: shard lease lost")
 // complete delivers a shard report, retrying transient transport errors —
 // completion is idempotent on the coordinator, so re-sending after a lost
 // response is safe.
-func (w *worker) complete(shardID int, rep *core.Report, capture *lineCapture) error {
+func (w *worker) complete(shardID int, rep *core.Report, capture *lineCapture, tracer *obs.Tracer) error {
 	req := completeRequest{Worker: w.cfg.ID, Shard: shardID, Report: EncodeReport(rep)}
 	if capture != nil {
 		req.Trace = capture.lines
+	}
+	if spans := tracer.Spans(); len(spans) > 0 {
+		if len(spans) > w.cfg.SpanAttach {
+			spans = spans[len(spans)-w.cfg.SpanAttach:]
+		}
+		req.Spans = spans
 	}
 	var lastErr error
 	for attempt := 0; attempt < 5; attempt++ {

@@ -92,6 +92,10 @@ type Backend struct {
 	stickyVal   bool
 	stickyUntil uint64 // cycle bound; 0 = forever
 	stickyOn    bool
+
+	// lastBatch holds the phase breakdown of the most recent RunBatch
+	// pass on this instance (engine.BatchStatsReporter).
+	lastBatch engine.BatchStats
 }
 
 // New builds, warms and checkpoints a gate-level backend.

@@ -3,6 +3,7 @@ package awan
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"sfi/internal/engine"
 )
@@ -55,7 +56,9 @@ func (b *Backend) RunBatch(p int, injs []engine.BatchInjection, window, quiesce 
 			return nil, fmt.Errorf("awan: injection bit %d out of range [0,%d)", bi.Inj.Bit, total)
 		}
 	}
+	t0 := time.Now()
 	b.ReloadPhase(p)
+	b.lastBatch = engine.BatchStats{RestoreNs: time.Since(t0).Nanoseconds()}
 
 	// Per-lane bookkeeping, indexed by fault lane k in 1..n. The lane sets
 	// themselves (pending/active/errSeen/stickyOn) are bit masks in the
@@ -179,6 +182,7 @@ func (b *Backend) RunBatch(p int, injs []engine.BatchInjection, window, quiesce 
 					cleanEnds[k]++
 					if quiesce != 0 && cleanEnds[k] >= quiesce {
 						stop(k, false, false)
+						b.lastBatch.Quiesced++
 					}
 				}
 			}
@@ -193,5 +197,16 @@ func (b *Backend) RunBatch(p int, injs []engine.BatchInjection, window, quiesce 
 			}
 		}
 	}
+	b.lastBatch.RunNs = time.Since(t0).Nanoseconds() - b.lastBatch.RestoreNs
+	b.lastBatch.Cycles = t
+	b.lastBatch.Barriers = barriers
 	return res, nil
+}
+
+var _ engine.BatchStatsReporter = (*Backend)(nil)
+
+// LastBatchStats returns the phase breakdown of the most recent RunBatch
+// pass (engine.BatchStatsReporter).
+func (b *Backend) LastBatchStats() engine.BatchStats {
+	return b.lastBatch
 }

@@ -200,6 +200,28 @@ type BatchBackend interface {
 	RunBatch(p int, injs []BatchInjection, window, quiesce int) ([]BatchResult, error)
 }
 
+// BatchStats describes the phase breakdown of the most recent RunBatch
+// pass: how long the shared checkpoint restore took versus the lockstep
+// run, how far the pass stepped, and how many lanes exited through the
+// quiesce rule. The campaign tracer stamps these onto per-batch spans so
+// a trace attributes pass latency to restore vs propagation.
+type BatchStats struct {
+	RestoreNs int64 // shared phased-checkpoint reload
+	RunNs     int64 // lockstep stepping until the last lane retired
+	Cycles    int   // machine cycles stepped since the reload
+	Barriers  int   // AVP barriers retired during the pass
+	Quiesced  int   // lanes that exited via consecutive clean barriers
+}
+
+// BatchStatsReporter is optionally implemented by batch backends that can
+// break a pass into its phases. LastBatchStats returns the stats of the
+// most recent RunBatch call on this backend instance (not safe to
+// interleave with concurrent RunBatch calls on the same instance — one
+// runner owns one backend, as everywhere else).
+type BatchStatsReporter interface {
+	LastBatchStats() BatchStats
+}
+
 // Splitmix64 is the shared per-bit hash: it deterministically assigns each
 // injection its workload phase (and drives backend stimulus generation),
 // independent of worker scheduling or process boundaries.

@@ -22,9 +22,12 @@ import (
 //	GET    /v1/campaigns/{id}/status      record + live coordinator status
 //	GET    /v1/campaigns/{id}/report      stored report document (ETag'd)
 //	GET    /v1/campaigns/{id}/events      shard trace, JSONL
+//	GET    /v1/campaigns/{id}/trace       span tree + critical path +
+//	                                      latency attribution
 //	ANY    /v1/campaigns/{id}/coord/...   passthrough to the campaign's
 //	                                      coordinator (external workers
 //	                                      can join a running campaign)
+//	GET    /v1/traces                     trace summaries, newest first
 //	GET    /v1/status                     server-wide status
 //	GET    /metrics                       Prometheus text exposition
 func (s *Server) Handler() http.Handler {
@@ -36,6 +39,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("/v1/campaigns/{id}/coord/{rest...}", s.handleCoord)
 	mux.HandleFunc("GET /v1/status", s.handleServerStatus)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -100,10 +105,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // CampaignStatus is the GET /v1/campaigns/{id}/status body: the stored
-// record plus, while running, the live coordinator fleet status.
+// record plus, while running, the live coordinator fleet status, plus the
+// trace-derived latency attribution once any spans have been recorded.
 type CampaignStatus struct {
-	Campaign Campaign `json:"campaign"`
-	Coord    any      `json:"coord,omitempty"`
+	Campaign Campaign         `json:"campaign"`
+	Coord    any              `json:"coord,omitempty"`
+	TraceID  string           `json:"trace_id,omitempty"`
+	Latency  *obs.Attribution `json:"latency,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -117,7 +125,32 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if cs := s.CoordStatus(id); cs != nil {
 		out.Coord = cs
 	}
+	if doc, ok := s.Trace(id); ok && doc.Spans > 0 {
+		out.TraceID = doc.TraceID
+		out.Latency = &doc.Attribution
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTrace serves a campaign's span tree with the critical path marked
+// and the latency attribution computed; mid-run it returns the tree so
+// far (under a synthetic root until the real root span finishes).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Get(id); !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	doc, ok := s.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: campaign has no trace"))
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Traces())
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -228,6 +261,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("# HELP sfi_server_running Campaigns currently executing.\n")
 	write("# TYPE sfi_server_running gauge\n")
 	write("sfi_server_running %d\n", len(st.Running))
+	// Span-duration log2 histograms per tracing layer, merged across every
+	// campaign tracer.
+	obs.WriteSpanHistSnapshots(bw, "sfi_server", s.spanHists()) //nolint:errcheck
 }
 
 // eventsSink opens the campaign's append-mode shard trace (append so a

@@ -166,6 +166,7 @@ type Server struct {
 
 	mu        sync.Mutex
 	campaigns map[string]*Campaign
+	tracers   map[string]*campaignTrace
 	queue     *fairQueue
 	running   map[string]*execution
 	active    int
@@ -180,6 +181,33 @@ type Server struct {
 type execution struct {
 	coord  *dist.Coordinator
 	cancel context.CancelCauseFunc
+}
+
+// campaignTrace is one campaign's tracer plus the structural spans the
+// server holds open across scheduling stages: the root "campaign" span
+// (submit to settle) and the "queue.wait" span (submit to start).
+type campaignTrace struct {
+	tracer *obs.Tracer
+	root   *obs.Span
+	queue  *obs.Span
+}
+
+// traceLocked returns the campaign's trace, creating it on first use.
+// Submissions create theirs at submit time; campaigns recovered from a
+// previous process create one lazily with the root span back-dated to the
+// original submission. The tracer seed mixes the submission sequence into
+// the campaign seed so two campaigns with equal specs still get distinct
+// trace IDs, while a replayed submission order reproduces the same IDs.
+func (s *Server) traceLocked(c *Campaign) *campaignTrace {
+	ct := s.tracers[c.ID]
+	if ct == nil {
+		tr := obs.NewTracer(c.Spec.Campaign.Seed ^ engine.Splitmix64(uint64(c.Seq)+1))
+		ct = &campaignTrace{tracer: tr}
+		ct.root = tr.StartSpanAt("campaign", "server", obs.SpanContext{}, c.SubmittedAt).
+			Attr("campaign", c.ID).Attr("tenant", c.Tenant)
+		s.tracers[c.ID] = ct
+	}
+	return ct
 }
 
 // New opens (or reopens) a campaign server over a store directory,
@@ -216,6 +244,7 @@ func New(cfg Config) (*Server, error) {
 		ctx:       ctx,
 		shutdown:  cancel,
 		campaigns: make(map[string]*Campaign),
+		tracers:   make(map[string]*campaignTrace),
 		queue:     newFairQueue(cfg.TenantWeights),
 		running:   make(map[string]*execution),
 		wake:      make(chan struct{}, 1),
@@ -353,9 +382,14 @@ func (s *Server) Submit(spec Spec) (Campaign, error) {
 		c.Dedup = true
 		c.ReportHash = hash
 		c.FinishedAt = &now
+		ct := s.traceLocked(c)
+		ct.root.Attr("dedup", "true").Attr("state", StateDone).End()
+		ct.root = nil
 	} else {
 		c.State = StateQueued
 		s.queue.push(c.Tenant, c.ID)
+		ct := s.traceLocked(c)
+		ct.queue = ct.tracer.StartSpan("queue.wait", "server", ct.root.Context())
 	}
 	s.campaigns[c.ID] = c
 	snap := *c
@@ -386,6 +420,16 @@ func (s *Server) Cancel(id string) error {
 		now := time.Now()
 		c.State = StateCancelled
 		c.FinishedAt = &now
+		if ct := s.tracers[id]; ct != nil {
+			if ct.queue != nil {
+				ct.queue.End()
+				ct.queue = nil
+			}
+			if ct.root != nil {
+				ct.root.Attr("state", StateCancelled).End()
+				ct.root = nil
+			}
+		}
 		snap := *c
 		s.mu.Unlock()
 		s.log.Info("queued campaign cancelled", "campaign", id)
@@ -457,6 +501,84 @@ func (s *Server) CoordStatus(id string) *dist.Status {
 	}
 	st := coord.Status()
 	return &st
+}
+
+// Trace returns a campaign's span-tree document: the spans recorded so
+// far, assembled into a tree with the critical path marked and latency
+// attribution computed. ok=false when the campaign is unknown or has no
+// trace (e.g. it finished under a previous process).
+func (s *Server) Trace(id string) (*obs.TraceDoc, bool) {
+	s.mu.Lock()
+	ct := s.tracers[id]
+	s.mu.Unlock()
+	if ct == nil {
+		return nil, false
+	}
+	return ct.tracer.Doc(), true
+}
+
+// TraceSummary is one row of GET /v1/traces: a campaign's trace identity
+// and its latency attribution.
+type TraceSummary struct {
+	Campaign string           `json:"campaign"`
+	Tenant   string           `json:"tenant"`
+	State    string           `json:"state"`
+	TraceID  string           `json:"trace_id"`
+	Spans    int              `json:"spans"`
+	Latency  *obs.Attribution `json:"latency,omitempty"`
+}
+
+// Traces lists every traced campaign, newest submission first.
+func (s *Server) Traces() []TraceSummary {
+	type row struct {
+		c  Campaign
+		ct *campaignTrace
+	}
+	s.mu.Lock()
+	rows := make([]row, 0, len(s.tracers))
+	for id, ct := range s.tracers {
+		if c := s.campaigns[id]; c != nil {
+			rows = append(rows, row{*c, ct})
+		}
+	}
+	s.mu.Unlock()
+	slices.SortFunc(rows, func(a, b row) int { return int(b.c.Seq - a.c.Seq) })
+	out := make([]TraceSummary, 0, len(rows))
+	for _, r := range rows {
+		sum := TraceSummary{
+			Campaign: r.c.ID,
+			Tenant:   r.c.Tenant,
+			State:    r.c.State,
+			TraceID:  r.ct.tracer.TraceID(),
+			Spans:    len(r.ct.tracer.Spans()),
+		}
+		if sum.Spans > 0 {
+			doc := r.ct.tracer.Doc()
+			sum.Latency = &doc.Attribution
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// spanHists merges the per-layer span-duration histograms across every
+// campaign tracer — the server-wide latency shape per tracing layer.
+func (s *Server) spanHists() map[string]obs.HistSnapshot {
+	s.mu.Lock()
+	tracers := make([]*obs.Tracer, 0, len(s.tracers))
+	for _, ct := range s.tracers {
+		tracers = append(tracers, ct.tracer)
+	}
+	s.mu.Unlock()
+	merged := make(map[string]obs.HistSnapshot)
+	for _, tr := range tracers {
+		for layer, snap := range tr.LayerSnapshots() {
+			m := merged[layer]
+			m.Merge(snap)
+			merged[layer] = m
+		}
+	}
+	return merged
 }
 
 // Status is the server-wide view served at GET /v1/status.
@@ -531,6 +653,14 @@ func (s *Server) startLocked(c *Campaign) {
 	now := time.Now()
 	c.State = StateRunning
 	c.StartedAt = &now
+	ct := s.traceLocked(c)
+	if ct.queue == nil {
+		// Recovered campaign: its queue wait spans the previous process's
+		// lifetime too, back-dated to the original submission.
+		ct.queue = ct.tracer.StartSpanAt("queue.wait", "server", ct.root.Context(), c.SubmittedAt)
+	}
+	ct.queue.End()
+	ct.queue = nil
 	ctx, cancel := context.WithCancelCause(s.ctx)
 	exec := &execution{cancel: cancel}
 	s.running[c.ID] = exec
@@ -567,6 +697,12 @@ func (s *Server) execute(ctx context.Context, c *Campaign, exec *execution) {
 		c.Error = err.Error()
 		c.FinishedAt = &now
 	}
+	// Settle the root span (except on shutdown-requeue: the campaign isn't
+	// over, it just moves to the next process).
+	if ct := s.tracers[c.ID]; ct != nil && ct.root != nil && c.State != StateQueued {
+		ct.root.Attr("state", c.State).AttrInt("injections", int64(c.Injections)).End()
+		ct.root = nil
+	}
 	delete(s.running, c.ID)
 	s.active--
 	snap := *c
@@ -592,12 +728,31 @@ func (s *Server) persist(c *Campaign) {
 // runCampaign executes one campaign: a journal-backed dist coordinator
 // plus one embedded worker speaking the real lease protocol over the
 // in-process transport, with prototypes served from the warm image cache.
-func (s *Server) runCampaign(ctx context.Context, c *Campaign, exec *execution) error {
+func (s *Server) runCampaign(ctx context.Context, c *Campaign, exec *execution) (err error) {
 	events, flushEvents, err := s.eventsSink(c.ID)
 	if err != nil {
 		return err
 	}
 	defer flushEvents()
+
+	// The campaign's spans: the executor span covers this whole function
+	// (scheduling overhead around it is the root's own self-time), and the
+	// events sink mirrors every span into the campaign's JSONL next to the
+	// shard events. Detach the sink before flushEvents closes the file —
+	// the root span outlives this function.
+	s.mu.Lock()
+	ct := s.traceLocked(c)
+	s.mu.Unlock()
+	tr := ct.tracer
+	tr.SetSink(events)
+	defer tr.SetSink(nil)
+	execSp := tr.StartSpan("executor", "server", ct.root.Context())
+	defer func() {
+		if err != nil {
+			execSp.Attr("error", err.Error())
+		}
+		execSp.End()
+	}()
 
 	coord, err := dist.NewCoordinator(dist.CoordConfig{
 		Campaign:   c.Spec.Campaign,
@@ -606,6 +761,8 @@ func (s *Server) runCampaign(ctx context.Context, c *Campaign, exec *execution) 
 		Journal:    s.st.JournalPath(c.ID),
 		Log:        s.log.With("campaign", c.ID),
 		ShardTrace: events,
+		Tracer:     tr,
+		Parent:     execSp.Context(),
 	})
 	if err != nil {
 		return err
@@ -619,7 +776,7 @@ func (s *Server) runCampaign(ctx context.Context, c *Campaign, exec *execution) 
 	// the first request stamps the campaign's boot latency and hit flag.
 	factory := func(rc core.RunnerConfig) (*core.Runner, error) {
 		t0 := time.Now()
-		r, hit, err := s.images.Runner(rc)
+		r, hit, err := s.images.RunnerTraced(rc, tr, execSp.Context())
 		if err != nil {
 			return nil, err
 		}
@@ -663,6 +820,7 @@ func (s *Server) runCampaign(ctx context.Context, c *Campaign, exec *execution) 
 	// nondeterministic), everything else a pure function of the spec —
 	// which is what makes the content address a dedup key and a resumed
 	// run byte-identical to an uninterrupted one.
+	mergeSp := tr.StartSpan("merge", "server", execSp.Context())
 	wire := dist.EncodeReport(rep)
 	wire.Metrics = nil
 	stopped := coord.StopDecision() != nil
@@ -680,6 +838,8 @@ func (s *Server) runCampaign(ctx context.Context, c *Campaign, exec *execution) 
 	if err != nil {
 		return err
 	}
+	mergeSp.AttrInt("bytes", int64(len(data))).End()
+	execSp.AttrInt("injections", int64(rep.Total))
 	s.mu.Lock()
 	c.ReportHash = hash
 	c.Injections = rep.Total

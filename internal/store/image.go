@@ -5,6 +5,7 @@ import (
 
 	"sfi/internal/core"
 	"sfi/internal/engine"
+	"sfi/internal/obs"
 )
 
 // ImageCache holds warm checkpoint images — built, warmed, checkpointed
@@ -90,6 +91,28 @@ func (c *ImageCache) Runner(cfg core.RunnerConfig) (proto *core.Runner, hit bool
 		return nil, false, e.err
 	}
 	return e.proto.Clone(), false, nil
+}
+
+// RunnerTraced is Runner with the image acquisition recorded as a span
+// under parent: a cache miss becomes an "image.build" span covering the
+// shared prototype boot, a hit becomes an "image.clone" span covering only
+// the warm clone (including any wait for a build in flight). A nil tracer
+// degrades to plain Runner.
+func (c *ImageCache) RunnerTraced(cfg core.RunnerConfig, tr *obs.Tracer, parent obs.SpanContext) (*core.Runner, bool, error) {
+	if tr == nil {
+		return c.Runner(cfg)
+	}
+	sp := tr.StartSpan("image.build", "store", parent)
+	proto, hit, err := c.Runner(cfg)
+	if hit {
+		sp.Name = "image.clone"
+	}
+	sp.Attr("digest", engine.ImageDigest(cfg))
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	sp.End()
+	return proto, hit, err
 }
 
 // Stats is a point-in-time view of the cache's effectiveness.

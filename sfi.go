@@ -93,6 +93,19 @@ type (
 	// TraceEvent is one injection's structured lifecycle record.
 	TraceEvent = obs.TraceEvent
 
+	// Tracer mints causal campaign spans (see ObsConfig.Tracer); its Doc
+	// method assembles the recorded spans into a TraceDoc.
+	Tracer = obs.Tracer
+	// Span is one timed operation in a campaign's causal tree.
+	Span = obs.Span
+	// SpanContext parents a child span across goroutines or processes.
+	SpanContext = obs.SpanContext
+	// TraceDoc is the assembled span tree with its critical path and
+	// latency attribution.
+	TraceDoc = obs.TraceDoc
+	// Attribution is a campaign's critical-path latency decomposition.
+	Attribution = obs.Attribution
+
 	// StopConfig is a campaign's adaptive statistical stopping rule:
 	// sequential (any-time-valid) Wilson intervals per outcome class, with
 	// the campaign stopping once every class is inside the target margin.
@@ -197,6 +210,11 @@ func NewRunner(cfg RunnerConfig) (*Runner, error) { return core.NewRunner(cfg) }
 func NewTraceSink(w io.Writer, opts TraceOptions) *TraceSink {
 	return obs.NewTraceSink(w, opts)
 }
+
+// NewTracer builds a campaign span tracer whose trace/span IDs are minted
+// from a splitmix64 stream seeded by the campaign seed, so a rerun of the
+// same campaign mints the same IDs.
+func NewTracer(seed uint64) *Tracer { return obs.NewTracer(seed) }
 
 // ProgressFrom derives a Progress view (rate, ETA, outcome mix) from a
 // metrics snapshot — the shared derivation behind local campaign progress
