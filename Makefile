@@ -1,7 +1,7 @@
 GO ?= go
 # Output file for the `bench` record; override per PR, e.g.
-# `make bench BENCH=BENCH_pr9.json`.
-BENCH ?= BENCH_pr9.json
+# `make bench BENCH=BENCH_pr10.json`.
+BENCH ?= BENCH_pr10.json
 
 .PHONY: build bins test race vet bench overhead smoke ci
 
@@ -45,8 +45,11 @@ bench:
 # metrics+trace-on path within 5% of the no-op path, the distributed
 # loopback campaign with fleet observability (heartbeat metric deltas,
 # trace attachment) within 5% of the observability-off loopback run, and
-# campaign tracing (per-batch spans) within 5% of the untraced run. A
-# missing baseline file is recorded rather than failed (fresh machine).
+# campaign tracing (per-batch spans) within 5% of the untraced run. It is
+# also the stratified-sampling gate: a Neyman-allocated campaign must
+# reach full stratum coverage with strictly fewer injections than uniform
+# sampling at the same margin and confidence. A missing baseline file is
+# recorded rather than failed (fresh machine).
 overhead:
 	$(GO) run ./cmd/sfi-bench -guard -baseline BENCH_baseline.json
 

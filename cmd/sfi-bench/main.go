@@ -23,7 +23,12 @@
 // image, and fails unless the warm-cache campaign boots at least 5x
 // faster than the cold one. Since PR 9 it pairs the same bit-parallel awan
 // campaign with campaign tracing off and on and fails if the span path
-// (per-batch spans, ring, critical-path doc) costs more than 5% wall time:
+// (per-batch spans, ring, critical-path doc) costs more than 5% wall time.
+// Since PR 10 it pairs two campaigns chasing the same stoppable target —
+// every sampling stratum's interval within the margin or its census
+// exhausted — one sampling uniformly, one under stratified Neyman
+// allocation, and fails unless the stratified campaign reaches coverage
+// with strictly fewer injections:
 //
 //	sfi-bench -guard -baseline BENCH_baseline.json
 //
@@ -49,9 +54,11 @@ import (
 	"time"
 
 	"sfi"
+	"sfi/internal/core"
 	"sfi/internal/dist"
 	"sfi/internal/obs"
 	"sfi/internal/server"
+	"sfi/internal/stats"
 )
 
 const tolerance = 0.05 // 5% regression / overhead budget
@@ -137,6 +144,13 @@ type benchRecord struct {
 		InjectionsSavedPct float64 `json:"injections_saved_pct"`
 	} `json:"adaptive"`
 
+	Stratified struct {
+		UniformFlips       int     `json:"uniform_flips"`
+		StratifiedFlips    int     `json:"stratified_flips"`
+		TargetMarginPct    float64 `json:"target_margin_pct"`
+		InjectionsSavedPct float64 `json:"injections_saved_pct"`
+	} `json:"stratified"`
+
 	CacheHit struct {
 		ColdSubmitToReportMs float64 `json:"cold_submit_to_report_ms"`
 		WarmSubmitToReportMs float64 `json:"warm_submit_to_report_ms"`
@@ -197,6 +211,15 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	savedPct := 100 * float64(fixedFlips-adaptiveFlips) / float64(fixedFlips)
 	fmt.Fprintf(os.Stderr, "sfi-bench: adaptive stop at %d of %d injections (%.1f%% saved at a %.1f-point margin)\n",
 		adaptiveFlips, fixedFlips, savedPct, marginPct)
+
+	fmt.Fprintln(os.Stderr, "sfi-bench: measuring stratum coverage (uniform vs Neyman-allocated sampling)...")
+	uniformFlips, stratifiedFlips, stratMarginPct, err := measureStratified()
+	if err != nil {
+		return err
+	}
+	stratSavedPct := 100 * float64(uniformFlips-stratifiedFlips) / float64(uniformFlips)
+	fmt.Fprintf(os.Stderr, "sfi-bench: stratified coverage at %d vs uniform %d injections (%.1f%% saved at a %.1f-point margin)\n",
+		stratifiedFlips, uniformFlips, stratSavedPct, stratMarginPct)
 
 	fmt.Fprintln(os.Stderr, "sfi-bench: measuring campaign-server checkpoint cache (cold vs warm image)...")
 	cache, err := measureCacheHit()
@@ -310,6 +333,10 @@ func run(out string, guard bool, baselinePath string, record bool, count int) er
 	rec.Adaptive.AdaptiveFlips = adaptiveFlips
 	rec.Adaptive.TargetMarginPct = marginPct
 	rec.Adaptive.InjectionsSavedPct = savedPct
+	rec.Stratified.UniformFlips = uniformFlips
+	rec.Stratified.StratifiedFlips = stratifiedFlips
+	rec.Stratified.TargetMarginPct = stratMarginPct
+	rec.Stratified.InjectionsSavedPct = stratSavedPct
 	rec.CacheHit.ColdSubmitToReportMs = cache.coldMs
 	rec.CacheHit.WarmSubmitToReportMs = cache.warmMs
 	rec.CacheHit.ColdBootMs = cache.coldBootMs
@@ -686,6 +713,90 @@ func measureAdaptive() (fixedFlips, adaptiveFlips int, marginPct float64, err er
 			adaptiveRep.Total, fixedRep.Total)
 	}
 	return fixedRep.Total, adaptiveRep.Total, 100 * targetMargin, nil
+}
+
+// measureStratified pairs two campaigns chasing the same stoppable target —
+// every sampling stratum of the plan within the target margin, or its
+// census exhausted — and returns how many injections each needed. The
+// uniform side replays the campaign's own uniform bit sample one injection
+// at a time into a strata-gated estimator and stops the moment coverage is
+// reached; the stratified side is a real Neyman-allocated adaptive
+// campaign at the same seed, margin and confidence. Small strata are where
+// the two diverge: uniform sampling hits a 32-latch GPTR stratum once per
+// ~2000 draws, while the allocator just walks its census. It fails (rather
+// than recording a number) if either side misses coverage, if any stratum
+// of the stratified report ends past the margin without exhausting its
+// census, or if stratified sampling saved nothing — the time-to-coverage
+// claim is a correctness gate, not just a datapoint.
+func measureStratified() (uniformFlips, stratifiedFlips int, marginPct float64, err error) {
+	const targetMargin = 0.10
+	const seed = 7
+	rc := sfi.DefaultRunnerConfig()
+	rc.AVP.Testcases = 4 // sample counts, not ns/op: the smaller AVP only shortens the run
+	rc.AVP.BodyOps = 12
+	names := make([]string, len(sfi.Outcomes)+1)
+	for _, o := range sfi.Outcomes {
+		names[int(o)] = o.String()
+	}
+	rule := stats.StopRule{TargetMargin: targetMargin, Strata: true}
+
+	// Uniform side: the pooled sample in its deterministic order, counted
+	// until every stratum is covered. The sample is drawn without
+	// replacement, so the full census is a hard upper bound and coverage is
+	// guaranteed; the interesting number is how early it lands.
+	r, err := sfi.NewRunner(rc)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	db := r.DB()
+	plan := core.BuildSamplePlan(db, seed, nil)
+	est := stats.NewEstimator(names, rule)
+	est.TrackStrata(plan.Populations())
+	for _, bit := range core.SampleCampaignBits(db, seed, db.TotalBits(), nil) {
+		res := r.RunInjection(bit)
+		est.ObserveStratum(int(res.Outcome), res.Unit, res.LatchType.String(), core.StratumKey(res.Unit, res.LatchType))
+		uniformFlips++
+		if est.Converged() {
+			break
+		}
+	}
+	if !est.Converged() {
+		return 0, 0, 0, fmt.Errorf("uniform sampling missed stratum coverage after its full %d-bit census", uniformFlips)
+	}
+
+	// Stratified side: the real adaptive campaign under Neyman allocation,
+	// stopping at the first epoch boundary with full stratum coverage.
+	cfg := sfi.DefaultCampaignConfig()
+	cfg.Runner = rc
+	cfg.Seed = seed
+	cfg.Flips = 12000
+	cfg.Workers = 2
+	cfg.Stop = sfi.StopConfig{TargetMargin: targetMargin, StopOnConverge: true}
+	cfg.Alloc = sfi.AllocConfig{Mode: sfi.AllocNeyman, Epochs: 12}
+	rep, err := sfi.RunCampaign(cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if rep.Convergence == nil || !rep.Convergence.Converged {
+		return 0, 0, 0, fmt.Errorf("stratified campaign missed stratum coverage within its %d-injection budget", cfg.Flips)
+	}
+	for key, pop := range plan.Populations() {
+		counts := stats.StratumCounts{Counts: make(map[string]int64)}
+		for outcome, n := range rep.ByStratum[key] {
+			counts.Counts[outcome.String()] += int64(n)
+			counts.Total += int64(n)
+		}
+		if !rule.StratumConverged(names, counts, pop) {
+			return 0, 0, 0, fmt.Errorf("stratified campaign stopped with stratum %s uncovered (%d of %d drawn)",
+				key, counts.Total, pop)
+		}
+	}
+	stratifiedFlips = rep.Total
+	if stratifiedFlips >= uniformFlips {
+		return 0, 0, 0, fmt.Errorf("stratified allocation saved nothing: %d vs uniform %d injections to coverage",
+			stratifiedFlips, uniformFlips)
+	}
+	return uniformFlips, stratifiedFlips, 100 * targetMargin, nil
 }
 
 // cacheResult is one cold/warm campaign-server measurement pair.

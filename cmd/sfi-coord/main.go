@@ -69,6 +69,8 @@ func main() {
 		margin     = flag.Float64("margin", 0, "evaluate per-class confidence intervals and report convergence once every outcome class's interval is at most this many percentage points wide (0 = off)")
 		confidence = flag.Float64("confidence", 0.95, "confidence level for the -margin intervals")
 		stopConv   = flag.Bool("stop-on-converge", false, "seal the campaign and cancel outstanding leases as soon as the -margin rule converges over completed shards")
+		allocate   = flag.String("allocate", "uniform", "budget allocation across unit×latch-type sampling strata: uniform (pooled sample) or neyman (per-epoch Neyman re-allocation; with -margin, every stratum must converge)")
+		epochs     = flag.Int("alloc-epochs", 0, "allocation epochs a -allocate neyman campaign re-plans at (0 = default)")
 		ttl        = flag.Duration("lease-ttl", 10*time.Second, "shard lease TTL; workers heartbeat at TTL/3")
 		attempts   = flag.Int("max-attempts", 3, "lease grants per shard before the campaign fails")
 		journal    = flag.String("journal", "", "completed-shard journal for coordinator restart ('' = none)")
@@ -86,6 +88,7 @@ func main() {
 		flips: *flips, seed: *seed, backend: *backend, lanes: *lanes, unit: *unit, typ: *typ, macro: *macro,
 		keep: *keep, shardSize: *shardSize, ttl: *ttl, attempts: *attempts,
 		margin: *margin, confidence: *confidence, stopConv: *stopConv,
+		allocate: *allocate, epochs: *epochs,
 		journal: *journal, shardTrace: *shardTr, jsonOut: *jsonOut,
 		progress: *progress, logLevel: *logLevel, logText: *logText,
 		httpAddr: *httpAddr, quiet: *quiet,
@@ -106,6 +109,8 @@ type coordArgs struct {
 	margin           float64
 	confidence       float64
 	stopConv         bool
+	allocate         string
+	epochs           int
 	ttl              time.Duration
 	attempts         int
 	journal          string
@@ -186,6 +191,14 @@ func run(addr string, a coordArgs) error {
 		return fmt.Errorf("-stop-on-converge needs a -margin")
 	}
 
+	// "uniform" normalizes to the zero AllocConfig so uniform campaigns'
+	// wire specs and journal headers stay byte-identical to pre-allocation
+	// versions.
+	var alloc sfi.AllocConfig
+	if a.allocate != "" && a.allocate != sfi.AllocUniform {
+		alloc = sfi.AllocConfig{Mode: a.allocate, Epochs: a.epochs}
+	}
+
 	cfg := dist.CoordConfig{
 		Campaign: dist.CampaignSpec{
 			Runner:      runner,
@@ -194,6 +207,7 @@ func run(addr string, a coordArgs) error {
 			Filter:      filter,
 			KeepResults: a.keep,
 			Stop:        stopRule,
+			Alloc:       alloc,
 		},
 		ShardSize:   a.shardSize,
 		LeaseTTL:    a.ttl,

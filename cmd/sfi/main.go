@@ -89,6 +89,8 @@ func main() {
 		margin     = flag.Float64("margin", 0, "evaluate per-class confidence intervals and report convergence once every outcome class's interval is at most this many percentage points wide (0 = off)")
 		confidence = flag.Float64("confidence", 0.95, "confidence level for the -margin intervals")
 		stopConv   = flag.Bool("stop-on-converge", false, "stop the campaign as soon as the -margin rule converges instead of running the whole -flips budget")
+		allocate   = flag.String("allocate", "uniform", "budget allocation across unit×latch-type sampling strata: uniform (pooled sample) or neyman (per-epoch Neyman re-allocation; with -margin, every stratum must converge)")
+		epochs     = flag.Int("alloc-epochs", 0, "allocation epochs a -allocate neyman campaign re-plans at (0 = default)")
 
 		// Distributed smoke mode.
 		distN     = flag.Int("dist", 0, "run the campaign through an in-process coordinator with this many loopback workers (exercises the sfi-coord/sfi-worker protocol)")
@@ -109,6 +111,7 @@ func main() {
 		window: *window, fixed: *fixed, workers: *workers, lanes: *lanes, nest: *nest,
 		detail: *detail, jsonOut: *jsonOut, causes: *causes, units: *units, types: *types,
 		margin: *margin, confidence: *confidence, stopConv: *stopConv,
+		allocate: *allocate, epochs: *epochs,
 		dist: *distN, shardSize: *shardSize,
 		trace: *trace, traceSample: *traceSmp, metrics: *metrics,
 		httpAddr: *httpAddr, progress: *progress,
@@ -140,6 +143,8 @@ type campaignArgs struct {
 	margin     float64
 	confidence float64
 	stopConv   bool
+	allocate   string
+	epochs     int
 
 	dist      int
 	shardSize int
@@ -227,6 +232,11 @@ func run(a campaignArgs) error {
 		}
 	} else if a.stopConv {
 		return fmt.Errorf("-stop-on-converge needs a -margin")
+	}
+	// "uniform" normalizes to the zero AllocConfig so uniform campaigns
+	// stay byte-identical to pre-allocation versions.
+	if a.allocate != "" && a.allocate != sfi.AllocUniform {
+		cfg.Alloc = sfi.AllocConfig{Mode: a.allocate, Epochs: a.epochs}
 	}
 
 	filters := 0
@@ -495,6 +505,7 @@ func runDist(a campaignArgs, cfg sfi.CampaignConfig) (*sfi.Report, time.Duration
 			KeepResults:  cfg.KeepResults,
 			ShardWorkers: shardWorkers,
 			Stop:         cfg.Stop,
+			Alloc:        cfg.Alloc,
 		},
 		ShardSize: a.shardSize,
 		Tracer:    sfi.NewTracer(cfg.Seed),

@@ -69,6 +69,72 @@ type CampaignConfig struct {
 	// injections a single whole-campaign run would perform, and merging
 	// their Reports reproduces the whole-campaign Report.
 	Shard *ShardRange
+
+	// Alloc selects how the injection budget is allocated across sampling
+	// strata. The zero value is the classic uniform sample, byte-identical
+	// to builds without stratified allocation; AllocNeyman runs the
+	// campaign as a stratified sample plan with Neyman re-allocation
+	// epochs (see SamplePlan).
+	Alloc AllocConfig
+
+	// Stratum, when non-empty, scopes execution to one sampling stratum of
+	// the campaign's SamplePlan: Shard then indexes the stratum's own
+	// deterministic sequence instead of the pooled sample. This is how a
+	// distributed worker executes a stratified shard with the ordinary
+	// uniform machinery — a stratum shard is just a campaign over a
+	// different deterministic bit slice.
+	Stratum string
+}
+
+// Allocation modes for AllocConfig.Mode.
+const (
+	// AllocUniform is the classic flat sample (the default; "" means the
+	// same).
+	AllocUniform = "uniform"
+	// AllocNeyman runs stratified sampling with Neyman allocation: the
+	// budget is split into epochs, and at every epoch boundary each
+	// unconverged stratum draws budget proportional to its population
+	// times its widest estimated class standard deviation.
+	AllocNeyman = "neyman"
+)
+
+// DefaultAllocEpochs is the allocation-epoch count used when AllocConfig
+// leaves Epochs unset.
+const DefaultAllocEpochs = 4
+
+// AllocConfig selects a campaign's budget-allocation strategy across
+// sampling strata. The zero value is uniform sampling.
+type AllocConfig struct {
+	// Mode is "" or AllocUniform for the flat sample, AllocNeyman for
+	// stratified Neyman allocation.
+	Mode string `json:"mode,omitempty"`
+
+	// Epochs is how many allocation epochs a stratified campaign splits
+	// its budget into (default DefaultAllocEpochs). Re-allocation — and
+	// the stop decision — happen only at epoch boundaries, over fully
+	// settled counts, which is what keeps stratified campaigns
+	// deterministic across worker counts.
+	Epochs int `json:"epochs,omitempty"`
+}
+
+// Stratified reports whether the config selects stratified allocation.
+func (a AllocConfig) Stratified() bool { return a.Mode == AllocNeyman }
+
+// Validate rejects unknown allocation modes.
+func (a AllocConfig) Validate() error {
+	switch a.Mode {
+	case "", AllocUniform, AllocNeyman:
+		return nil
+	}
+	return fmt.Errorf("core: unknown allocation mode %q (want %s or %s)", a.Mode, AllocUniform, AllocNeyman)
+}
+
+// epochs returns the epoch count with the default applied.
+func (a AllocConfig) epochs() int {
+	if a.Epochs <= 0 {
+		return DefaultAllocEpochs
+	}
+	return a.Epochs
 }
 
 // StopConfig configures adaptive statistical early-stop for a campaign.
@@ -98,6 +164,13 @@ type StopConfig struct {
 	// Flips injections but still tracks and reports convergence — useful
 	// for calibrating a margin before trusting it to cut campaigns short.
 	StopOnConverge bool `json:"stop_on_converge,omitempty"`
+
+	// Strata additionally gates convergence on the sampling strata: the
+	// campaign has converged only once every stratum of its sample plan is
+	// itself within the margin or exhausted. Armed automatically by
+	// stratified allocation; zero for uniform campaigns, keeping their
+	// wire formats unchanged.
+	Strata bool `json:"strata,omitempty"`
 }
 
 // Enabled reports whether convergence tracking is active.
@@ -109,6 +182,7 @@ func (s StopConfig) Rule() stats.StopRule {
 		TargetMargin: s.TargetMargin,
 		Confidence:   s.Confidence,
 		MinPerClass:  s.MinPerClass,
+		Strata:       s.Strata,
 	}
 }
 
@@ -224,6 +298,12 @@ type Report struct {
 	ByUnit  map[string]map[Outcome]int
 	ByType  map[latch.Type]map[Outcome]int
 	Results []Result // per-injection detail when KeepResults
+
+	// ByStratum breaks outcomes down by sampling stratum (SamplePlan key,
+	// "UNIT/latch-class"). Populated only by stratified campaigns and
+	// stratum shards — nil for uniform campaigns, so their report
+	// serializations are unchanged.
+	ByStratum map[string]map[Outcome]int
 
 	// Workers is the number of concurrent model copies the campaign ran.
 	Workers int
@@ -380,13 +460,18 @@ func (p Progress) Line() string {
 		line += fmt.Sprintf(" [%s]", strings.TrimSpace(mix.String()))
 	}
 	// Widest outstanding margin: which class still holds the campaign open,
-	// and how far its interval width is from the target.
+	// and how far its interval width is from the target. Stratified
+	// campaigns additionally show the widest unconverged sampling stratum —
+	// the one the allocator is steering budget toward.
 	if c := p.Convergence; c != nil {
 		if c.Converged {
 			line += fmt.Sprintf("  ci ok<=%.2f%%", 100*c.TargetMargin)
 		} else {
 			line += fmt.Sprintf("  ci %s %.2f%%>%.2f%%",
 				c.WidestClass, 100*c.WidestWidth, 100*c.TargetMargin)
+		}
+		if c.WidestStratum != "" {
+			line += fmt.Sprintf("  st %s %.2f%%", c.WidestStratum, 100*c.WidestStratumWidth)
 		}
 	}
 	return line
@@ -481,11 +566,20 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 	if cfg.Flips < 1 {
 		return nil, fmt.Errorf("core: campaign needs at least one flip")
 	}
+	if err := cfg.Alloc.Validate(); err != nil {
+		return nil, err
+	}
 	// Sampling is without replacement, so the filtered population bounds
 	// the campaign size — easy to exceed on small gate-level designs.
 	if total := first.DB().CountBits(cfg.Filter); cfg.Flips > total {
 		return nil, fmt.Errorf("core: campaign of %d flips exceeds the filtered population of %d bits",
 			cfg.Flips, total)
+	}
+	// A stratified campaign runs the epoch-allocating executor; a stratum
+	// shard (a distributed worker's slice of one stratum's sequence) falls
+	// through to the ordinary machinery over the stratum's bits.
+	if cfg.Alloc.Stratified() && cfg.Stratum == "" {
+		return runStratified(ctx, first, cfg)
 	}
 	// Campaign tracing: campaign.run encloses the whole local run; its
 	// children are the sample/plan span, one span per bit-parallel batch
@@ -494,13 +588,33 @@ func RunCampaignWith(ctx context.Context, first *Runner, cfg CampaignConfig) (*R
 	// beyond these calls themselves.
 	runSp := cfg.Obs.Tracer.StartSpan("campaign.run", "core", cfg.Obs.Parent)
 	sampleSp := cfg.Obs.Tracer.StartSpan("sample", "core", runSp.Context())
-	bits := SampleCampaignBits(first.DB(), cfg.Seed, cfg.Flips, cfg.Filter)
-	if cfg.Shard != nil {
-		s := *cfg.Shard
-		if s.Lo < 0 || s.Hi > cfg.Flips || s.Lo >= s.Hi {
-			return nil, fmt.Errorf("core: shard [%d,%d) out of range for %d flips", s.Lo, s.Hi, cfg.Flips)
+	var bits []int
+	if cfg.Stratum != "" {
+		// One stratum's deterministic sequence: Shard indexes it directly,
+		// so any [Lo, Hi) of any stratum is reproducible independently of
+		// every other stratum (the plan's prefix-stability contract).
+		stratum := BuildSamplePlan(first.DB(), cfg.Seed, cfg.Filter).Stratum(cfg.Stratum)
+		if stratum == nil {
+			return nil, fmt.Errorf("core: unknown sampling stratum %q", cfg.Stratum)
 		}
-		bits = bits[s.Lo:s.Hi]
+		bits = stratum.Bits
+		if cfg.Shard != nil {
+			s := *cfg.Shard
+			if s.Lo < 0 || s.Hi > len(bits) || s.Lo >= s.Hi {
+				return nil, fmt.Errorf("core: shard [%d,%d) out of range for stratum %s of %d bits",
+					s.Lo, s.Hi, cfg.Stratum, len(bits))
+			}
+			bits = bits[s.Lo:s.Hi]
+		}
+	} else {
+		bits = SampleCampaignBits(first.DB(), cfg.Seed, cfg.Flips, cfg.Filter)
+		if cfg.Shard != nil {
+			s := *cfg.Shard
+			if s.Lo < 0 || s.Hi > cfg.Flips || s.Lo >= s.Hi {
+				return nil, fmt.Errorf("core: shard [%d,%d) out of range for %d flips", s.Lo, s.Hi, cfg.Flips)
+			}
+			bits = bits[s.Lo:s.Hi]
+		}
 	}
 	// Batch planning: a bit-parallel backend (engine.BatchBackend)
 	// classifies up to BatchSize injections per model pass, so the unit of
@@ -798,6 +912,15 @@ drain:
 				rep.add(res, cfg.KeepResults)
 			}
 		}
+	}
+	if cfg.Stratum != "" {
+		// The whole shard draws from one stratum; merging shard reports
+		// accumulates these rows into the campaign's per-stratum breakdown.
+		row := make(map[Outcome]int, len(rep.Counts))
+		for o, n := range rep.Counts {
+			row[o] = n
+		}
+		rep.ByStratum = map[string]map[Outcome]int{cfg.Stratum: row}
 	}
 	rep.Workers = workers
 	if collect {

@@ -17,6 +17,10 @@ type reportJSON struct {
 	Fractions map[string]float64            `json:"fractions"`
 	ByUnit    map[string]map[string]int     `json:"by_unit"`
 	ByType    map[string]map[string]int     `json:"by_type"`
+	// ByStratum is present only for stratified campaigns (sampling-stratum
+	// rows keyed "UNIT/latch-class"), so uniform report JSON stays
+	// byte-identical.
+	ByStratum map[string]map[string]int     `json:"by_stratum,omitempty"`
 	Results   []resultJSON                  `json:"results,omitempty"`
 	Intervals map[string]map[string]float64 `json:"wilson95,omitempty"`
 	// Convergence is present only for adaptive campaigns (StopConfig set),
@@ -73,6 +77,16 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 			tm[o.String()] = n
 		}
 		out.ByType[ty.String()] = tm
+	}
+	if len(r.ByStratum) > 0 {
+		out.ByStratum = make(map[string]map[string]int, len(r.ByStratum))
+		for key, m := range r.ByStratum {
+			sm := make(map[string]int)
+			for o, n := range m {
+				sm[o.String()] = n
+			}
+			out.ByStratum[key] = sm
+		}
 	}
 	var interesting []Result
 	for _, res := range r.Results {

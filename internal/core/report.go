@@ -54,6 +54,7 @@ func (r *Report) Merge(o *Report) {
 		return dst
 	}
 	r.ByUnit = mergeRows(r.ByUnit, o.ByUnit)
+	r.ByStratum = mergeRows(r.ByStratum, o.ByStratum)
 	if len(o.ByType) > 0 {
 		if r.ByType == nil {
 			r.ByType = make(map[latch.Type]map[Outcome]int, len(o.ByType))
@@ -126,6 +127,29 @@ func (r *Report) ComputeConvergence(rule stats.StopRule) *stats.Convergence {
 		byType[t.String()] = stratumFromRow(row)
 	}
 	c.AddStrata(rule, classes, byUnit, byType)
+	return c
+}
+
+// ComputeConvergenceStrata is ComputeConvergence for stratified campaigns:
+// it additionally evaluates every sampling stratum of the report's
+// ByStratum breakdown against the rule, given the plan's per-stratum
+// census populations (an exhausted stratum is converged whatever its
+// widths), and — when the rule's Strata gate is armed — folds the
+// stratum verdicts into the overall one. Strata the campaign never drew
+// from still gate the verdict: they appear with zero counts.
+func (r *Report) ComputeConvergenceStrata(rule stats.StopRule, populations map[string]int) *stats.Convergence {
+	c := r.ComputeConvergence(rule)
+	if c == nil {
+		return nil
+	}
+	strata := make(map[string]stats.StratumCounts, len(populations))
+	for key := range populations {
+		strata[key] = stats.StratumCounts{}
+	}
+	for key, row := range r.ByStratum {
+		strata[key] = stratumFromRow(row)
+	}
+	c.AddSampleStrata(rule, outcomeNames(), strata, populations)
 	return c
 }
 

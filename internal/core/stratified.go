@@ -1,0 +1,369 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sfi/internal/obs"
+	"sfi/internal/stats"
+)
+
+// The local stratified executor: a campaign over a SamplePlan, run as a
+// sequence of allocation epochs. Each epoch the Neyman allocator splits
+// the epoch's budget across the plan's strata from their settled counts,
+// every stratum's draw extends its own deterministic sequence, and the
+// epoch is dispatched over the worker pool and drained fully before
+// anything is evaluated. Re-allocation and the stop decision happen only
+// at epoch boundaries over settled counts, so the campaign is
+// deterministic across worker counts — the stratified analogue of the
+// uniform path's pure batch plan.
+
+// stratBatch is one dispatch unit of a stratified epoch: a phase-grouped
+// batch of one stratum's draw. pos indexes the draw's results slice (the
+// batch's positions are disjoint across batches, so workers write slots
+// without synchronization).
+type stratBatch struct {
+	key  string
+	bits []int
+	pos  []int
+	res  []Result
+	done *sync.WaitGroup
+}
+
+// epochDraw is one stratum's slice of an epoch: seq is the next sh.Next
+// bits of the stratum's sequence, res the results in sequence order.
+type epochDraw struct {
+	key string
+	seq []int
+	res []Result
+}
+
+func runStratified(ctx context.Context, first *Runner, cfg CampaignConfig) (*Report, error) {
+	if cfg.Shard != nil {
+		return nil, fmt.Errorf("core: a stratified campaign cannot take a pooled shard range (shards of stratified campaigns carry a stratum)")
+	}
+	plan := BuildSamplePlan(first.DB(), cfg.Seed, cfg.Filter)
+	if len(plan.Strata) == 0 {
+		return nil, fmt.Errorf("core: stratified campaign over an empty population")
+	}
+	// Stratified allocation makes the per-stratum margins the stoppable
+	// target: the rule's Strata gate is armed for the estimator, the stop
+	// decision and the final report evaluation alike.
+	if cfg.Stop.Enabled() {
+		cfg.Stop.Strata = true
+	}
+	rule := cfg.Stop.Rule()
+	classes := outcomeNames()
+	pops := plan.Populations()
+
+	runSp := cfg.Obs.Tracer.StartSpan("campaign.run", "core", cfg.Obs.Parent)
+	planSp := cfg.Obs.Tracer.StartSpan("sample", "core", runSp.Context())
+	planSp.AttrInt("flips", int64(cfg.Flips)).
+		AttrInt("strata", int64(len(plan.Strata))).
+		AttrInt("population", int64(plan.TotalBits())).
+		End()
+
+	batchSize := first.BatchSize()
+	batched := batchSize > 1
+	if !batched {
+		batchSize = 1
+	}
+	phases := first.Backend().Phases()
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Flips {
+		workers = cfg.Flips
+	}
+
+	collect := cfg.Obs.Metrics || cfg.Obs.Progress != nil
+	var metrics []*obs.Metrics
+	if collect {
+		metrics = make([]*obs.Metrics, workers)
+		for w := range metrics {
+			metrics[w] = obs.New(classes)
+		}
+	}
+	workerObs := func(w int) *obs.Metrics {
+		if metrics == nil {
+			return nil
+		}
+		return metrics[w]
+	}
+	mergedSnapshot := func() *obs.Snapshot {
+		s := obs.NewSnapshot()
+		for _, m := range metrics {
+			s.Merge(m.Snapshot())
+		}
+		return s
+	}
+	first.SetObs(workerObs(0), cfg.Obs.Trace)
+	first.SetSpan(cfg.Obs.Tracer, runSp.Context())
+
+	// The estimator always runs: even without a stopping rule the Neyman
+	// allocator feeds on its per-stratum outcome counts. Convergence views
+	// are only surfaced when a rule is armed.
+	est := stats.NewEstimator(classes, rule)
+	est.TrackStrata(pops)
+	liveConvergence := func() *stats.Convergence {
+		if !cfg.Stop.Enabled() {
+			return nil
+		}
+		return est.Snapshot(false)
+	}
+
+	var wg sync.WaitGroup
+	jobs := make(chan stratBatch)
+	errCh := make(chan error, workers)
+	worker := func(r *Runner) {
+		defer wg.Done()
+		for b := range jobs {
+			if !batched {
+				res := r.RunInjection(b.bits[0])
+				b.res[b.pos[0]] = res
+				est.ObserveStratum(int(res.Outcome), res.Unit, res.LatchType.String(), b.key)
+			} else {
+				for j, res := range r.RunInjectionBatch(b.bits) {
+					b.res[b.pos[j]] = res
+					est.ObserveStratum(int(res.Outcome), res.Unit, res.LatchType.String(), b.key)
+				}
+			}
+			b.done.Done()
+		}
+	}
+
+	wg.Add(workers)
+	start := time.Now()
+
+	var cloning sync.WaitGroup
+	if !cfg.NoClone {
+		cloning.Add(workers - 1)
+	}
+	go func() {
+		cloning.Wait()
+		worker(first)
+	}()
+	for w := 1; w < workers; w++ {
+		go func() {
+			r, err := newWorkerRunner(first, cfg)
+			if !cfg.NoClone {
+				cloning.Done()
+			}
+			if err != nil {
+				errCh <- fmt.Errorf("core: worker %d failed to start: %w", w, err)
+				wg.Done()
+				return
+			}
+			r.SetObs(workerObs(w), cfg.Obs.Trace)
+			r.SetSpan(cfg.Obs.Tracer, runSp.Context())
+			worker(r)
+		}()
+	}
+
+	// Live progress and the convergence-event monitor mirror the uniform
+	// path; Snapshot additionally carries the ByStratum breakdown and the
+	// widest unconverged stratum for the progress line.
+	var stopProg, progDone chan struct{}
+	if cfg.Obs.Progress != nil {
+		every := cfg.Obs.ProgressEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		stopProg = make(chan struct{})
+		progDone = make(chan struct{})
+		go func() {
+			defer close(progDone)
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopProg:
+					return
+				case <-t.C:
+					p := ProgressFrom(mergedSnapshot(), cfg.Flips, workers, start)
+					p.Convergence = liveConvergence()
+					cfg.Obs.Progress(p)
+				}
+			}
+		}()
+	}
+	seen := make(map[string]bool)
+	var stopMon, monDone chan struct{}
+	if cfg.Stop.Enabled() {
+		stopMon = make(chan struct{})
+		monDone = make(chan struct{})
+		go func() {
+			defer close(monDone)
+			t := time.NewTicker(5 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopMon:
+					return
+				case <-t.C:
+					emitConvergenceEvents(cfg.Obs.Trace, est.Snapshot(false), seen, !cfg.Stop.StopOnConverge)
+				}
+			}
+		}()
+	}
+
+	rep := newReport()
+	rep.ByStratum = make(map[string]map[Outcome]int, len(plan.Strata))
+	drawn := make(map[string]int, len(plan.Strata))
+	epochBudget := (cfg.Flips + cfg.Alloc.epochs() - 1) / cfg.Alloc.epochs()
+	remaining := cfg.Flips
+	stopOnConverge := cfg.Stop.Enabled() && cfg.Stop.StopOnConverge
+	var dispatchErr error
+
+	for epoch := 0; remaining > 0 && dispatchErr == nil; epoch++ {
+		eb := remaining
+		if eb > epochBudget {
+			eb = epochBudget
+		}
+		shares := rule.Allocate(classes, est.StrataStates(plan.Keys(), pops, drawn), eb)
+		allocated := 0
+		for _, sh := range shares {
+			allocated += sh.Next
+		}
+		if allocated == 0 {
+			// Every stratum's population is exhausted; the campaign cannot
+			// spend the rest of its budget.
+			break
+		}
+		emitAllocationEvent(cfg.Obs.Trace, epoch, allocated, shares)
+		epochSp := cfg.Obs.Tracer.StartSpan("allocate", "core", runSp.Context())
+		epochSp.AttrInt("epoch", int64(epoch)).AttrInt("budget", int64(allocated)).End()
+
+		// Extend each allocated stratum's prefix and dispatch the epoch.
+		var draws []epochDraw
+		for _, sh := range shares {
+			if sh.Next == 0 {
+				continue
+			}
+			lo := drawn[sh.Stratum]
+			draws = append(draws, epochDraw{
+				key: sh.Stratum,
+				seq: plan.Stratum(sh.Stratum).Bits[lo : lo+sh.Next],
+				res: make([]Result, sh.Next),
+			})
+			drawn[sh.Stratum] = lo + sh.Next
+		}
+		var pending sync.WaitGroup
+	dispatch:
+		for _, d := range draws {
+			for _, group := range planBatches(d.seq, phases, batchSize) {
+				b := stratBatch{key: d.key, bits: make([]int, len(group)), pos: group, res: d.res, done: &pending}
+				for j, pos := range group {
+					b.bits[j] = d.seq[pos]
+				}
+				pending.Add(1)
+				select {
+				case e := <-errCh:
+					pending.Done()
+					dispatchErr = e
+					break dispatch
+				case <-ctx.Done():
+					pending.Done()
+					dispatchErr = fmt.Errorf("core: campaign cancelled: %w", context.Cause(ctx))
+					break dispatch
+				case jobs <- b:
+				}
+			}
+		}
+		// The epoch barrier: every dispatched batch settles before counts
+		// are evaluated or re-allocated — the determinism contract.
+		pending.Wait()
+		if dispatchErr != nil {
+			break
+		}
+		for _, d := range draws {
+			row := rep.ByStratum[d.key]
+			if row == nil {
+				row = make(map[Outcome]int)
+				rep.ByStratum[d.key] = row
+			}
+			for _, res := range d.res {
+				rep.add(res, cfg.KeepResults)
+				row[res.Outcome]++
+			}
+		}
+		remaining -= allocated
+		if stopOnConverge && est.Converged() {
+			break
+		}
+	}
+
+	close(jobs)
+	wg.Wait()
+	if stopMon != nil {
+		close(stopMon)
+		<-monDone
+	}
+	if stopProg != nil {
+		close(stopProg)
+		<-progDone
+	}
+	var errs []error
+	if dispatchErr != nil {
+		errs = append(errs, dispatchErr)
+	}
+drain:
+	for {
+		select {
+		case e := <-errCh:
+			errs = append(errs, e)
+		default:
+			break drain
+		}
+	}
+	if len(errs) > 0 {
+		dedup := make(map[string]bool, len(errs))
+		distinct := errs[:0]
+		for _, e := range errs {
+			if !dedup[e.Error()] {
+				dedup[e.Error()] = true
+				distinct = append(distinct, e)
+			}
+		}
+		err := errors.Join(distinct...)
+		if runSp != nil {
+			runSp.Attr("error", err.Error()).End()
+		}
+		return nil, err
+	}
+
+	mergeSp := cfg.Obs.Tracer.StartSpan("merge", "core", runSp.Context())
+	rep.Workers = workers
+	if collect {
+		rep.Metrics = mergedSnapshot()
+	}
+	if cfg.Stop.Enabled() {
+		rep.Convergence = rep.ComputeConvergenceStrata(rule, pops)
+		emitConvergenceEvents(cfg.Obs.Trace, rep.Convergence, seen, true)
+	}
+	mergeSp.AttrInt("injections", int64(rep.Total)).End()
+	if cfg.Obs.Progress != nil {
+		p := ProgressFrom(rep.Metrics, cfg.Flips, workers, start)
+		p.Convergence = rep.Convergence
+		cfg.Obs.Progress(p)
+	}
+	if runSp != nil {
+		runSp.AttrInt("injections", int64(rep.Total)).AttrInt("workers", int64(workers)).End()
+	}
+	return rep, nil
+}
+
+// emitAllocationEvent records one epoch's allocation decision as a JSONL
+// allocation event.
+func emitAllocationEvent(trace *obs.TraceSink, epoch, budget int, shares []stats.StratumShare) {
+	if trace == nil {
+		return
+	}
+	trace.RecordJSON(obs.AllocationEvent{Kind: "allocate", Epoch: epoch, Budget: budget, Shares: shares})
+}

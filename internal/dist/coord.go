@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 
@@ -153,9 +152,28 @@ type Coordinator struct {
 	stopEval      *stats.Convergence // the decision stopped on (nil until then)
 	stopJournaled bool               // stop line already durable (written or replayed)
 
+	// Stratified-allocation state (nil plan for uniform campaigns). The
+	// shard ledger grows per allocation epoch: each epoch boundary — all
+	// shards planned so far settled — the Neyman allocator splits the next
+	// epoch's budget across the plan's strata from the sealed per-stratum
+	// counts and the resulting shards join the queue. Like the stop rule,
+	// every allocation is a pure function of which shards completed, so a
+	// journal replay re-plans identically.
+	plan         *core.SamplePlan
+	strataPops   map[string]int
+	drawn        map[string]int              // per-stratum sequence prefix already planned
+	sealedStrata map[string]map[string]int64 // per-stratum outcome counts over completed shards
+	epoch        int                         // next allocation epoch ordinal
+	budgetLeft   int                         // campaign injections not yet allocated
+	replaying    bool                        // journal replay in progress: suppress boundary decisions
+
 	stopReaper chan struct{}
 	reaperDone chan struct{}
 }
+
+// stratified reports whether the campaign allocates its budget across
+// sampling strata.
+func (c *Coordinator) stratified() bool { return c.plan != nil }
 
 // NewCoordinator plans the campaign's shards, replays the journal if one
 // is configured and present, and starts the lease reaper. Callers must
@@ -164,8 +182,18 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	if cfg.Campaign.Flips < 1 {
 		return nil, fmt.Errorf("dist: campaign needs at least one flip")
 	}
-	if _, err := cfg.Campaign.Filter.Filter(); err != nil {
+	filter, err := cfg.Campaign.Filter.Filter()
+	if err != nil {
 		return nil, err
+	}
+	if err := cfg.Campaign.Alloc.Validate(); err != nil {
+		return nil, err
+	}
+	// Stratified allocation makes the per-stratum margins the stoppable
+	// target, exactly as the local executor does. Armed before the journal
+	// header and the worker-facing spec are derived, so both are stable.
+	if cfg.Campaign.Alloc.Stratified() && cfg.Campaign.Stop.Enabled() {
+		cfg.Campaign.Stop.Strata = true
 	}
 	if cfg.ShardSize <= 0 {
 		cfg.ShardSize = (cfg.Campaign.Flips + 63) / 64
@@ -199,13 +227,31 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 			c.spanParent = c.rootSp.Context()
 		}
 	}
-	for id, r := range core.PlanShards(cfg.Campaign.Flips, cfg.ShardSize) {
-		c.shards = append(c.shards, &shard{
-			ShardLease: ShardLease{ID: id, Lo: r.Lo, Hi: r.Hi},
-		})
+	if cfg.Campaign.Alloc.Stratified() {
+		// The plan needs only the latch census — the registered census
+		// factory skips model build and warming, so a coordinator never
+		// pays for a simulator it will not run.
+		db, err := engine.Census(cfg.Campaign.Runner)
+		if err != nil {
+			return nil, err
+		}
+		c.plan = core.BuildSamplePlan(db, cfg.Campaign.Seed, filter)
+		if len(c.plan.Strata) == 0 {
+			return nil, fmt.Errorf("dist: stratified campaign over an empty population")
+		}
+		c.strataPops = c.plan.Populations()
+		c.drawn = make(map[string]int, len(c.plan.Strata))
+		c.sealedStrata = make(map[string]map[string]int64, len(c.plan.Strata))
+		c.budgetLeft = cfg.Campaign.Flips
+	} else {
+		for id, r := range core.PlanShards(cfg.Campaign.Flips, cfg.ShardSize) {
+			c.shards = append(c.shards, &shard{
+				ShardLease: ShardLease{ID: id, Lo: r.Lo, Hi: r.Hi},
+			})
+		}
 	}
 	if cfg.Journal != "" {
-		j, recovered, recStop, err := openJournal(cfg.Journal, journalHeader{
+		j, entries, err := openJournal(cfg.Journal, journalHeader{
 			V:         1,
 			Seed:      cfg.Campaign.Seed,
 			Backend:   engine.Resolve(cfg.Campaign.Runner.Backend),
@@ -213,42 +259,27 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 			ShardSize: cfg.ShardSize,
 			Filter:    cfg.Campaign.Filter,
 			Stop:      cfg.Campaign.Stop,
+			Alloc:     cfg.Campaign.Alloc,
 		}, c.log)
 		if err != nil {
 			return nil, err
 		}
 		c.journal = j
-		// A journaled stop decision is honored verbatim: set it before the
-		// replay loop so markDoneLocked never re-evaluates the rule, and
-		// never re-journals the line.
-		if recStop != nil {
-			c.stoppedEarly = true
-			c.stopEval = recStop
-			c.stopJournaled = true
-		}
-		// Replay in shard order so a journal without a stop line (crash
-		// before the decision was durable) re-converges deterministically.
-		ids := make([]int, 0, len(recovered))
-		for id := range recovered {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		for _, id := range ids {
-			if id < 0 || id >= len(c.shards) {
-				j.close()
-				return nil, fmt.Errorf("dist: journal names shard %d outside the %d-shard plan", id, len(c.shards))
-			}
-			c.markDoneLocked(c.shards[id], recovered[id])
-		}
-		if len(recovered) > 0 {
-			c.log.Info("journal replayed", "path", cfg.Journal,
-				"shards_recovered", len(recovered), "stopped_early", c.stoppedEarly)
-		}
-		if recStop != nil {
-			c.finishLocked()
+		if err := c.replayLocked(entries); err != nil {
+			j.close()
+			return nil, err
 		}
 	}
-	// Queue whatever the journal didn't already settle.
+	if c.stratified() && !c.stoppedEarly && c.err == nil && c.done == len(c.shards) {
+		// Fresh campaign (bootstrap epoch 0), or the journal ended exactly
+		// on a settled epoch without recording the next allocation: plan it
+		// now. Deterministic either way — the allocation is a function of
+		// the sealed counts replayed above.
+		c.epochBoundaryLocked()
+	}
+	// (Re)queue whatever the journal and bootstrap didn't already settle,
+	// in shard order.
+	c.queue = c.queue[:0]
 	for _, s := range c.shards {
 		if s.status == shardPending {
 			c.queue = append(c.queue, s.ID)
@@ -256,9 +287,52 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	}
 	c.log.Info("campaign planned",
 		"shards", len(c.shards), "shard_size", cfg.ShardSize,
-		"pending", len(c.queue), "lease_ttl", cfg.LeaseTTL)
+		"pending", len(c.queue), "lease_ttl", cfg.LeaseTTL,
+		"alloc", cfg.Campaign.Alloc.Mode)
 	go c.reaper()
 	return c, nil
+}
+
+// replayLocked applies recovered journal entries. The stop decision (the
+// journal's final decision line, when present) is honored before anything
+// else so no replayed completion re-evaluates the rule; allocations and
+// reports then apply in file order, which for stratified campaigns is the
+// only order that reproduces the ledger — each allocation extended the
+// per-stratum sequences from the sealed counts before it.
+func (c *Coordinator) replayLocked(entries []replayEntry) error {
+	c.replaying = true
+	defer func() { c.replaying = false }()
+	recovered := 0
+	for _, e := range entries {
+		if e.stop != nil {
+			c.stoppedEarly = true
+			c.stopEval = e.stop
+			c.stopJournaled = true
+		}
+	}
+	for _, e := range entries {
+		switch {
+		case e.alloc != nil:
+			if !c.stratified() {
+				return fmt.Errorf("dist: journal records an allocation epoch but the campaign is not stratified")
+			}
+			c.applyAllocLocked(*e.alloc)
+		case e.report != nil:
+			if e.shard < 0 || e.shard >= len(c.shards) {
+				return fmt.Errorf("dist: journal names shard %d outside the %d-shard plan", e.shard, len(c.shards))
+			}
+			c.markDoneLocked(c.shards[e.shard], e.report)
+			recovered++
+		}
+	}
+	if recovered > 0 || c.stoppedEarly {
+		c.log.Info("journal replayed", "path", c.cfg.Journal,
+			"shards_recovered", recovered, "epochs", c.epoch, "stopped_early", c.stoppedEarly)
+	}
+	if c.stoppedEarly {
+		c.finishLocked()
+	}
+	return nil
 }
 
 // Close stops the reaper and closes the journal. It does not interrupt
@@ -411,26 +485,174 @@ func (c *Coordinator) markDoneLocked(s *shard, rep *core.Report) {
 	}
 	c.fleet.Seal(s.fleetKey(), final)
 	c.done++
-	if c.cfg.Campaign.Stop.Enabled() && rep != nil {
+	if (c.cfg.Campaign.Stop.Enabled() || c.stratified()) && rep != nil {
 		c.sealedTotal += int64(rep.Total)
 		for o, n := range rep.Counts {
 			c.sealedCounts[o.String()] += int64(n)
 		}
 	}
+	if c.stratified() && rep != nil {
+		for key, row := range rep.ByStratum {
+			d := c.sealedStrata[key]
+			if d == nil {
+				d = make(map[string]int64, len(row))
+				c.sealedStrata[key] = d
+			}
+			for o, n := range row {
+				d[o.String()] += int64(n)
+			}
+		}
+	}
 	if c.done == len(c.shards) && c.err == nil {
+		if c.stratified() {
+			// An allocation-epoch boundary, not (necessarily) the end: the
+			// stop rule and the next allocation are evaluated here, over
+			// fully settled counts only — never mid-epoch — so the campaign
+			// is a pure function of which shards completed. Replay applies
+			// journaled decisions instead of re-deriving them.
+			if !c.replaying {
+				c.epochBoundaryLocked()
+			}
+			return
+		}
 		c.log.Info("campaign complete",
 			"shards", len(c.shards), "grants", c.grants, "requeues", c.requeues,
 			"elapsed", time.Since(c.started).Round(time.Millisecond))
 		c.finishLocked()
 		return
 	}
-	if c.cfg.Campaign.Stop.Enabled() && c.cfg.Campaign.Stop.StopOnConverge &&
+	if !c.stratified() && c.cfg.Campaign.Stop.Enabled() && c.cfg.Campaign.Stop.StopOnConverge &&
 		!c.stoppedEarly && c.err == nil {
 		eval := c.cfg.Campaign.Stop.Rule().Eval(outcomeClasses(), c.sealedCounts, c.sealedTotal)
 		if eval.Converged {
 			c.convergeLocked(eval)
 		}
 	}
+}
+
+// sealedConvergenceLocked evaluates the stopping rule over the merged
+// sealed shard reports, stratum margins included — the stratified
+// campaign's decision basis. Only called at epoch boundaries, when every
+// planned shard is settled.
+func (c *Coordinator) sealedConvergenceLocked() *stats.Convergence {
+	rep := &core.Report{}
+	for _, s := range c.shards {
+		rep.Merge(s.report)
+	}
+	return rep.ComputeConvergenceStrata(c.cfg.Campaign.Stop.Rule(), c.strataPops)
+}
+
+// strataStatesLocked assembles the allocator's per-stratum view from the
+// sealed counts, in plan order.
+func (c *Coordinator) strataStatesLocked() []stats.StratumState {
+	keys := c.plan.Keys()
+	out := make([]stats.StratumState, len(keys))
+	for i, k := range keys {
+		s := stats.StratumState{Key: k, Population: c.strataPops[k], Drawn: c.drawn[k]}
+		if row := c.sealedStrata[k]; len(row) > 0 {
+			s.Counts = row
+			for _, n := range row {
+				s.Total += n
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// planEpochLocked turns an allocation's shares into shard leases, each a
+// ShardSize-bounded slice of one stratum's sequence, extending the
+// stratum's drawn prefix.
+func (c *Coordinator) planEpochLocked(shares []stats.StratumShare) []ShardLease {
+	var leases []ShardLease
+	id := len(c.shards)
+	for _, sh := range shares {
+		if sh.Next == 0 {
+			continue
+		}
+		lo := c.drawn[sh.Stratum]
+		for _, r := range core.PlanStratumShards(lo, sh.Next, c.cfg.ShardSize) {
+			leases = append(leases, ShardLease{ID: id, Lo: r.Lo, Hi: r.Hi, Stratum: sh.Stratum})
+			id++
+		}
+		c.drawn[sh.Stratum] = lo + sh.Next
+	}
+	return leases
+}
+
+// applyAllocLocked extends the shard ledger with one allocation epoch's
+// planned shards (freshly allocated or replayed from the journal) and
+// queues them.
+func (c *Coordinator) applyAllocLocked(rec allocRecord) {
+	for _, l := range rec.Shards {
+		c.shards = append(c.shards, &shard{ShardLease: l})
+		c.queue = append(c.queue, l.ID)
+		if l.Hi > c.drawn[l.Stratum] {
+			c.drawn[l.Stratum] = l.Hi
+		}
+	}
+	c.budgetLeft -= rec.Budget
+	c.epoch = rec.Epoch + 1
+	if c.cfg.ShardTrace != nil {
+		c.cfg.ShardTrace.RecordJSON(obs.AllocationEvent{
+			Kind: "allocate", Epoch: rec.Epoch, Budget: rec.Budget, Shares: rec.Shares,
+		})
+	}
+	c.log.Info("allocation epoch planned", "epoch", rec.Epoch,
+		"budget", rec.Budget, "strata", len(rec.Shares), "shards", len(rec.Shards))
+}
+
+// epochBoundaryLocked runs a stratified campaign's settled-ledger decision
+// point: evaluate the stop rule over sealed counts, then either stop,
+// finish (budget spent or every stratum exhausted), or journal and queue
+// the next allocation epoch.
+func (c *Coordinator) epochBoundaryLocked() {
+	stop := c.cfg.Campaign.Stop
+	if stop.Enabled() && len(c.shards) > 0 {
+		eval := c.sealedConvergenceLocked()
+		if stop.StopOnConverge && !c.stoppedEarly && eval.Converged {
+			c.convergeLocked(eval)
+			return
+		}
+	}
+	rule := stop.Rule()
+	epochs := c.cfg.Campaign.Alloc.Epochs
+	if epochs <= 0 {
+		epochs = core.DefaultAllocEpochs
+	}
+	epochBudget := (c.cfg.Campaign.Flips + epochs - 1) / epochs
+	eb := min(c.budgetLeft, epochBudget)
+	allocated := 0
+	var shares []stats.StratumShare
+	if eb > 0 {
+		shares = rule.Allocate(outcomeClasses(), c.strataStatesLocked(), eb)
+		for _, sh := range shares {
+			allocated += sh.Next
+		}
+	}
+	if allocated == 0 {
+		// Budget spent, or every (unconverged) stratum's population is
+		// exhausted: the campaign is complete.
+		c.log.Info("campaign complete",
+			"shards", len(c.shards), "epochs", c.epoch, "grants", c.grants,
+			"requeues", c.requeues, "budget_left", c.budgetLeft,
+			"elapsed", time.Since(c.started).Round(time.Millisecond))
+		c.finishLocked()
+		return
+	}
+	rec := allocRecord{Epoch: c.epoch, Budget: allocated, Shares: shares,
+		Shards: c.planEpochLocked(shares)}
+	// planEpochLocked advanced drawn; applyAllocLocked must not re-advance
+	// (it only catches up during replay) — Hi never exceeds drawn here.
+	if c.journal != nil {
+		if err := c.journal.appendAlloc(rec); err != nil {
+			c.err = fmt.Errorf("dist: journal allocation record: %w", err)
+			c.log.Error("campaign failed", "err", c.err)
+			c.finishLocked()
+			return
+		}
+	}
+	c.applyAllocLocked(rec)
 }
 
 // convergeLocked stops the campaign on a sealed-counts convergence verdict:
@@ -503,7 +725,11 @@ func (c *Coordinator) Wait(ctx context.Context) (*core.Report, error) {
 		rep.Merge(s.report)
 	}
 	if stop := c.cfg.Campaign.Stop; stop.Enabled() {
-		rep.Convergence = rep.ComputeConvergence(stop.Rule())
+		if c.stratified() {
+			rep.Convergence = rep.ComputeConvergenceStrata(stop.Rule(), c.strataPops)
+		} else {
+			rep.Convergence = rep.ComputeConvergence(stop.Rule())
+		}
 	}
 	return rep, nil
 }

@@ -102,7 +102,7 @@ func TestLoopbackEquivalence(t *testing.T) {
 		}
 	}
 
-	ccfg, err := spec.CampaignConfig(core.ShardRange{Lo: 0, Hi: spec.Flips})
+	ccfg, err := spec.CampaignConfig(ShardLease{Lo: 0, Hi: spec.Flips})
 	if err != nil {
 		t.Fatal(err)
 	}

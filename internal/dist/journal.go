@@ -14,12 +14,15 @@ import (
 // The campaign journal is a JSONL file: a header line binding it to one
 // campaign plan, then one line per completed shard, plus — for adaptive
 // campaigns — one stop-decision line recording the sealed-counts
-// convergence evaluation the coordinator stopped on. Lines are appended
-// and fsync'd when a shard completes, so a coordinator killed at any point
-// can be restarted over the same journal and resume with every durably
-// completed shard already marked done (and the stop decision, if one was
-// reached, honored verbatim). A torn final line (crash mid-append) is
-// ignored on replay — that shard simply reruns.
+// convergence evaluation the coordinator stopped on, and — for stratified
+// campaigns — one allocation line per epoch recording the budget split and
+// the exact shard leases it planned. Lines are appended and fsync'd as the
+// decisions happen, so a coordinator killed at any point can be restarted
+// over the same journal and resume with every durably completed shard
+// already marked done, every recorded allocation re-applied verbatim (in
+// order — an allocation is a function of the sealed counts before it), and
+// the stop decision, if one was reached, honored verbatim. A torn final
+// line (crash mid-append) is ignored on replay — that work simply reruns.
 
 type journalHeader struct {
 	V    int    `json:"v"`
@@ -35,15 +38,46 @@ type journalHeader struct {
 	// recorded under one rule while evaluating another would let the same
 	// journal yield different stop decisions.
 	Stop core.StopConfig `json:"stop,omitempty"`
+	// Alloc binds the journal to one allocation policy, for the same
+	// reason. The zero value (uniform) keeps old journals resumable:
+	// their headers decode to the zero value and still compare equal.
+	Alloc core.AllocConfig `json:"alloc,omitzero"`
 }
 
-// journalEntry is one post-header line: a completed shard's report, or —
-// when Stop is set (Shard is -1 then) — the coordinator's convergence
-// stop decision.
+// allocRecord is one allocation-epoch decision: the budget the Neyman
+// allocator split, the per-stratum shares it chose, and the exact shard
+// leases the epoch was planned into. Replay applies the leases verbatim —
+// the record makes the re-allocation durable before any of its shards can
+// complete, so a restarted coordinator extends the same per-stratum
+// sequences instead of re-deriving them against a half-settled ledger.
+type allocRecord struct {
+	Epoch  int                  `json:"epoch"`
+	Budget int                  `json:"budget"`
+	Shares []stats.StratumShare `json:"shares"`
+	Shards []ShardLease         `json:"shards"`
+}
+
+// journalEntry is one post-header line, discriminated by Shard: >= 0 is a
+// completed shard's report, -1 the convergence stop decision, -2 an
+// allocation epoch.
 type journalEntry struct {
 	Shard  int                `json:"shard"`
 	Report *WireReport        `json:"report,omitempty"`
 	Stop   *stats.Convergence `json:"stop,omitempty"`
+	Alloc  *allocRecord       `json:"alloc,omitempty"`
+}
+
+const (
+	journalShardStop  = -1
+	journalShardAlloc = -2
+)
+
+// replayEntry is one decoded journal line in file order.
+type replayEntry struct {
+	shard  int
+	report *core.Report
+	stop   *stats.Convergence
+	alloc  *allocRecord
 }
 
 type journal struct {
@@ -51,27 +85,25 @@ type journal struct {
 }
 
 // openJournal opens (or creates) the journal at path for the campaign
-// described by hdr, returning the recovered shard reports and the recorded
-// convergence stop decision (nil if the prior run never reached one). An
+// described by hdr, returning the recovered entries in file order. An
 // existing journal whose header does not match hdr is rejected: resuming a
 // different campaign over it would merge unrelated shards.
-func openJournal(path string, hdr journalHeader, log *slog.Logger) (*journal, map[int]*core.Report, *stats.Convergence, error) {
-	recovered := make(map[int]*core.Report)
-	var stop *stats.Convergence
+func openJournal(path string, hdr journalHeader, log *slog.Logger) (*journal, []replayEntry, error) {
+	var entries []replayEntry
 	data, err := os.ReadFile(path)
 	switch {
 	case os.IsNotExist(err) || (err == nil && len(data) == 0):
 		// Fresh journal.
 	case err != nil:
-		return nil, nil, nil, fmt.Errorf("dist: read journal: %w", err)
+		return nil, nil, fmt.Errorf("dist: read journal: %w", err)
 	default:
 		lines := bytes.Split(data, []byte("\n"))
 		var got journalHeader
 		if err := json.Unmarshal(lines[0], &got); err != nil {
-			return nil, nil, nil, fmt.Errorf("dist: journal %s: bad header: %w", path, err)
+			return nil, nil, fmt.Errorf("dist: journal %s: bad header: %w", path, err)
 		}
 		if got != hdr {
-			return nil, nil, nil, fmt.Errorf("dist: journal %s belongs to a different campaign plan (%+v, want %+v)",
+			return nil, nil, fmt.Errorf("dist: journal %s belongs to a different campaign plan (%+v, want %+v)",
 				path, got, hdr)
 		}
 		for i, line := range lines[1:] {
@@ -80,36 +112,33 @@ func openJournal(path string, hdr journalHeader, log *slog.Logger) (*journal, ma
 			}
 			var e journalEntry
 			if err := json.Unmarshal(line, &e); err != nil {
-				// Torn tail from a crash mid-append: rerun that shard.
+				// Torn tail from a crash mid-append: rerun that work.
 				log.Warn("journal torn tail ignored", "path", path, "line", i+2)
 				break
 			}
-			if e.Stop != nil {
-				stop = e.Stop
-				continue
+			re := replayEntry{shard: e.Shard, stop: e.Stop, alloc: e.Alloc}
+			if e.Report != nil {
+				rep, err := e.Report.Report()
+				if err != nil {
+					return nil, nil, fmt.Errorf("dist: journal %s: shard %d: %w", path, e.Shard, err)
+				}
+				re.report = rep
 			}
-			if e.Report == nil {
-				continue
-			}
-			rep, err := e.Report.Report()
-			if err != nil {
-				return nil, nil, nil, fmt.Errorf("dist: journal %s: shard %d: %w", path, e.Shard, err)
-			}
-			recovered[e.Shard] = rep
+			entries = append(entries, re)
 		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("dist: open journal: %w", err)
+		return nil, nil, fmt.Errorf("dist: open journal: %w", err)
 	}
 	j := &journal{f: f}
 	if len(data) == 0 {
 		if err := j.writeLine(hdr); err != nil {
 			f.Close()
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 	}
-	return j, recovered, stop, nil
+	return j, entries, nil
 }
 
 func (j *journal) append(shardID int, rep *WireReport) error {
@@ -117,9 +146,13 @@ func (j *journal) append(shardID int, rep *WireReport) error {
 }
 
 // appendStop records the convergence decision the coordinator stopped on.
-// Shard -1 marks the line as a non-shard record.
 func (j *journal) appendStop(eval *stats.Convergence) error {
-	return j.writeLine(journalEntry{Shard: -1, Stop: eval})
+	return j.writeLine(journalEntry{Shard: journalShardStop, Stop: eval})
+}
+
+// appendAlloc records one allocation epoch's decision and planned shards.
+func (j *journal) appendAlloc(rec allocRecord) error {
+	return j.writeLine(journalEntry{Shard: journalShardAlloc, Alloc: &rec})
 }
 
 func (j *journal) writeLine(v any) error {

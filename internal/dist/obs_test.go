@@ -58,7 +58,7 @@ func TestLoopbackSnapshotEquivalence(t *testing.T) {
 		t.Fatal("merged distributed report has no metrics snapshot")
 	}
 
-	ccfg, err := spec.CampaignConfig(core.ShardRange{Lo: 0, Hi: spec.Flips})
+	ccfg, err := spec.CampaignConfig(ShardLease{Lo: 0, Hi: spec.Flips})
 	if err != nil {
 		t.Fatal(err)
 	}

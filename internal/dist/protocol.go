@@ -76,15 +76,27 @@ type CampaignSpec struct {
 	// function of which shards completed, so a journal replay reaches the
 	// same verdict.
 	Stop core.StopConfig `json:"stop,omitempty"`
+
+	// Alloc selects the campaign's budget allocation across sampling
+	// strata. Under AllocNeyman the coordinator plans shards per
+	// allocation epoch — each shard a slice of one stratum's sequence,
+	// carried on the lease — and re-allocates at epoch boundaries over
+	// sealed counts. Workers stay allocation-agnostic: a stratum shard is
+	// an ordinary campaign over a different deterministic bit slice. The
+	// zero value (uniform) keeps the wire format byte-identical.
+	Alloc core.AllocConfig `json:"alloc,omitzero"`
 }
 
 // CampaignConfig materializes the spec into a runnable configuration for
-// one shard.
-func (s CampaignSpec) CampaignConfig(shard core.ShardRange) (core.CampaignConfig, error) {
+// one leased shard. A lease with a Stratum scopes the shard range to that
+// stratum's deterministic sequence (stratified campaigns); otherwise the
+// range indexes the pooled uniform sample as always.
+func (s CampaignSpec) CampaignConfig(lease ShardLease) (core.CampaignConfig, error) {
 	f, err := s.Filter.Filter()
 	if err != nil {
 		return core.CampaignConfig{}, err
 	}
+	shard := core.ShardRange{Lo: lease.Lo, Hi: lease.Hi}
 	return core.CampaignConfig{
 		Runner:      s.Runner,
 		Seed:        s.Seed,
@@ -93,6 +105,7 @@ func (s CampaignSpec) CampaignConfig(shard core.ShardRange) (core.CampaignConfig
 		KeepResults: s.KeepResults,
 		Workers:     s.ShardWorkers,
 		Shard:       &shard,
+		Stratum:     lease.Stratum,
 	}, nil
 }
 
@@ -101,13 +114,14 @@ func (s CampaignSpec) CampaignConfig(shard core.ShardRange) (core.CampaignConfig
 // results and cannot be unmarshalled; shard transport and the journal need
 // exact round-trips.)
 type WireReport struct {
-	Total   int                       `json:"total"`
-	Workers int                       `json:"workers,omitempty"`
-	Counts  map[string]int            `json:"counts"`
-	ByUnit  map[string]map[string]int `json:"by_unit,omitempty"`
-	ByType  map[string]map[string]int `json:"by_type,omitempty"`
-	Results []core.Result             `json:"results,omitempty"`
-	Metrics *obs.Snapshot             `json:"metrics,omitempty"`
+	Total     int                       `json:"total"`
+	Workers   int                       `json:"workers,omitempty"`
+	Counts    map[string]int            `json:"counts"`
+	ByUnit    map[string]map[string]int `json:"by_unit,omitempty"`
+	ByType    map[string]map[string]int `json:"by_type,omitempty"`
+	ByStratum map[string]map[string]int `json:"by_stratum,omitempty"`
+	Results   []core.Result             `json:"results,omitempty"`
+	Metrics   *obs.Snapshot             `json:"metrics,omitempty"`
 }
 
 // EncodeReport converts a Report to its wire form.
@@ -132,6 +146,12 @@ func EncodeReport(r *core.Report) *WireReport {
 		w.ByType = make(map[string]map[string]int, len(r.ByType))
 		for t, row := range r.ByType {
 			w.ByType[t.String()] = encodeOutcomeRow(row)
+		}
+	}
+	if len(r.ByStratum) > 0 {
+		w.ByStratum = make(map[string]map[string]int, len(r.ByStratum))
+		for key, row := range r.ByStratum {
+			w.ByStratum[key] = encodeOutcomeRow(row)
 		}
 	}
 	return w
@@ -186,6 +206,16 @@ func (w *WireReport) Report() (*core.Report, error) {
 		}
 		r.ByType[typ] = dec
 	}
+	if len(w.ByStratum) > 0 {
+		r.ByStratum = make(map[string]map[core.Outcome]int, len(w.ByStratum))
+		for key, row := range w.ByStratum {
+			dec, err := decodeOutcomeRow(row)
+			if err != nil {
+				return nil, err
+			}
+			r.ByStratum[key] = dec
+		}
+	}
 	return r, nil
 }
 
@@ -211,11 +241,14 @@ func outcomeByName(name string) (core.Outcome, error) {
 }
 
 // ShardLease identifies one leased shard: injection indices [Lo, Hi) of
-// the campaign sample.
+// the campaign sample — or, when Stratum is set (stratified campaigns),
+// sequence indices [Lo, Hi) of that sampling stratum's own deterministic
+// permutation.
 type ShardLease struct {
-	ID int `json:"id"`
-	Lo int `json:"lo"`
-	Hi int `json:"hi"`
+	ID      int    `json:"id"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+	Stratum string `json:"stratum,omitempty"`
 }
 
 // Wire messages. Every coordinator response also uses HTTP status codes:

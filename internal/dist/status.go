@@ -60,6 +60,12 @@ type Status struct {
 	Convergence  *stats.Convergence `json:"convergence,omitempty"`
 	StoppedEarly bool               `json:"stopped_early,omitempty"`
 
+	// Allocation reports a stratified campaign's budget state: the epochs
+	// planned so far, the unallocated budget, and the per-stratum census
+	// populations, planned draws and sealed injections. Absent for uniform
+	// campaigns.
+	Allocation *AllocationView `json:"allocation,omitempty"`
+
 	// Latency is the campaign's critical-path latency attribution, derived
 	// from the coordinator's span tree (present only when the coordinator
 	// runs with a Tracer and spans have been recorded).
@@ -70,12 +76,33 @@ type Status struct {
 	Error     string `json:"error,omitempty"`
 }
 
+// AllocationView is the /v1/status allocation block of a stratified
+// campaign.
+type AllocationView struct {
+	Mode       string `json:"mode"`
+	Epochs     int    `json:"epochs_planned"`
+	BudgetLeft int    `json:"budget_left"`
+	// Strata lists per-stratum budgets in plan (registration) order.
+	Strata []StratumBudgetView `json:"strata"`
+}
+
+// StratumBudgetView is one sampling stratum's budget row: its census
+// population, the sequence prefix planned into shards so far, and the
+// injections sealed by completed shards.
+type StratumBudgetView struct {
+	Stratum    string `json:"stratum"`
+	Population int    `json:"population"`
+	Planned    int    `json:"planned"`
+	Sealed     int64  `json:"sealed"`
+}
+
 // ShardView is one shard's row in the status: its range, state, current
 // or last owner, attempts, and live injection count this lease.
 type ShardView struct {
 	ID       int    `json:"id"`
 	Lo       int    `json:"lo"`
 	Hi       int    `json:"hi"`
+	Stratum  string `json:"stratum,omitempty"`
 	State    string `json:"state"`
 	Worker   string `json:"worker,omitempty"`
 	Attempts int    `json:"attempts,omitempty"`
@@ -124,6 +151,25 @@ func (c *Coordinator) Status() Status {
 		st.Convergence = snap.Convergence(outcomeClasses(), stop.Rule(), false)
 	}
 	st.StoppedEarly = c.stoppedEarly
+	if c.stratified() {
+		av := &AllocationView{
+			Mode:       c.cfg.Campaign.Alloc.Mode,
+			Epochs:     c.epoch,
+			BudgetLeft: c.budgetLeft,
+		}
+		for _, key := range c.plan.Keys() {
+			row := StratumBudgetView{
+				Stratum:    key,
+				Population: c.strataPops[key],
+				Planned:    c.drawn[key],
+			}
+			for _, n := range c.sealedStrata[key] {
+				row.Sealed += n
+			}
+			av.Strata = append(av.Strata, row)
+		}
+		st.Allocation = av
+	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		st.Rate = float64(snap.Injections) / sec
 		if snap.Batches > 0 {
@@ -143,7 +189,7 @@ func (c *Coordinator) Status() Status {
 
 	st.ShardsV = make([]ShardView, 0, len(c.shards))
 	for _, s := range c.shards {
-		v := ShardView{ID: s.ID, Lo: s.Lo, Hi: s.Hi, Attempts: s.attempts}
+		v := ShardView{ID: s.ID, Lo: s.Lo, Hi: s.Hi, Stratum: s.Stratum, Attempts: s.attempts}
 		switch s.status {
 		case shardDone:
 			v.State = "completed"

@@ -251,9 +251,9 @@ func (w *worker) shardObs(ccfg *core.CampaignConfig, sh ShardLease, ttl time.Dur
 func (w *worker) runShard(ctx context.Context, lease *leaseResponse) error {
 	id, sh := w.cfg.ID, lease.Shard
 	log := w.log.With("shard", sh.ID)
-	log.Info("shard leased", "lo", sh.Lo, "hi", sh.Hi)
+	log.Info("shard leased", "lo", sh.Lo, "hi", sh.Hi, "stratum", sh.Stratum)
 
-	ccfg, err := lease.Campaign.CampaignConfig(core.ShardRange{Lo: sh.Lo, Hi: sh.Hi})
+	ccfg, err := lease.Campaign.CampaignConfig(sh)
 	if err != nil {
 		w.fail(sh.ID, err)
 		return err

@@ -28,7 +28,45 @@ import (
 // Name is the backend's registry name.
 const Name = "awan"
 
-func init() { engine.Register(Name, New) }
+func init() {
+	engine.Register(Name, New)
+	engine.RegisterCensus(Name, census)
+}
+
+// census enumerates the latch population without compiling or warming the
+// netlist: it builds the checked-ALU macros (structure only) and registers
+// the same buses in the same order New does, so bit indices and stratum
+// populations agree with the full backend.
+func census(cfg engine.Config) (*latch.DB, error) {
+	width, lanes := cfg.Awan.Width, cfg.Awan.Lanes
+	if width == 0 {
+		width = 16
+	}
+	if lanes == 0 {
+		lanes = 32
+	}
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("awan: ALU width %d out of range [1,64]", width)
+	}
+	if lanes < 1 {
+		return nil, fmt.Errorf("awan: lane count %d < 1", lanes)
+	}
+	nl := gate.NewNetlist()
+	db := latch.NewDB()
+	for l := 0; l < lanes; l++ {
+		alu := nl.BuildCheckedALU(fmt.Sprintf("alu%d", l), width)
+		name := fmt.Sprintf("alu%d", l)
+		reg := func(suffix string, kind latch.Type, bus gate.Bus) {
+			db.RegisterArray("ALU", kind, name+suffix, 1, len(bus))
+		}
+		reg(".a", latch.RegFile, alu.RegA)
+		reg(".b", latch.RegFile, alu.RegB)
+		reg(".res", latch.Func, alu.Result)
+		reg(".rsd", latch.Func, alu.ResPred)
+	}
+	db.Freeze()
+	return db, nil
+}
 
 // stimSeed seeds the deterministic operand stream. Like the AVP, the
 // gate-level workload is part of the model configuration, so independent

@@ -1,0 +1,51 @@
+package engine
+
+import "sfi/internal/latch"
+
+// A stratified campaign planner needs the design's latch census — which
+// units and latch classes exist and how many bits each holds — before any
+// injection runs. Building a full backend for that would warm and
+// checkpoint a whole machine (the distributed coordinator never injects
+// locally at all), so backends may register a census factory that derives
+// the latch database from the config alone.
+
+// CensusFactory enumerates a backend's injectable latch population from a
+// config, without warming or checkpointing the machine. The returned
+// database must register the same groups in the same order as the full
+// backend's, so bit indices and stratum populations agree exactly.
+type CensusFactory func(cfg Config) (*latch.DB, error)
+
+var censusReg = make(map[string]CensusFactory) // guarded by regMu
+
+// RegisterCensus makes a lightweight census available for a registered
+// backend name. Backend packages call it from init alongside Register.
+func RegisterCensus(name string, f CensusFactory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" || f == nil {
+		panic("engine: RegisterCensus with empty name or nil factory")
+	}
+	if _, dup := censusReg[name]; dup {
+		panic("engine: census for backend " + name + " registered twice")
+	}
+	censusReg[name] = f
+}
+
+// Census returns the latch database of the backend cfg selects. Backends
+// with a registered census factory answer from the config alone; otherwise
+// a full backend is built and its database returned — correct but as
+// expensive as one warm machine.
+func Census(cfg Config) (*latch.DB, error) {
+	name := Resolve(cfg.Backend)
+	regMu.RLock()
+	f := censusReg[name]
+	regMu.RUnlock()
+	if f != nil {
+		return f(cfg)
+	}
+	be, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return be.DB(), nil
+}

@@ -21,7 +21,17 @@ import (
 // Name is the backend's registry name.
 const Name = "p6lite"
 
-func init() { engine.Register(Name, New) }
+func init() {
+	engine.Register(Name, New)
+	engine.RegisterCensus(Name, census)
+}
+
+// census enumerates the latch population without generating the AVP or
+// warming the model: the core's latch inventory depends only on the proc
+// configuration, so a fresh (cold) core's database is the full census.
+func census(cfg engine.Config) (*latch.DB, error) {
+	return proc.New(cfg.Proc).DB(), nil
+}
 
 // phasedCheckpoint is a model snapshot taken at one point of the AVP pass.
 type phasedCheckpoint struct {

@@ -64,6 +64,11 @@ type Group struct {
 // Bits returns the number of latch bits in the group.
 func (g *Group) Bits() int { return g.Entries * g.Width }
 
+// Offset returns the group's dense logical bit offset — the logical index
+// of entry 0 bit 0, so the group spans logical bits [Offset, Offset+Bits).
+// Stratified sample plans use it to enumerate a stratum's population.
+func (g *Group) Offset() int { return g.logOff }
+
 // DB is the latch database. Register groups during model construction, then
 // Freeze; injection and snapshotting operate on the frozen database.
 //

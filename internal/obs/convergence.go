@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"sfi/internal/stats"
 )
@@ -98,7 +99,40 @@ func WriteConvergencePrometheus(w io.Writer, prefix string, c *stats.Convergence
 	perClass("ci_hi", func(ci stats.ClassInterval) float64 { return ci.Hi })
 	perClass("ci_width", func(ci stats.ClassInterval) float64 { return ci.Width })
 	perClass("class_converged", func(ci stats.ClassInterval) float64 { return boolGauge(ci.Converged) })
+	if len(c.ByStratum) > 0 {
+		// Stratified campaigns: per-sampling-stratum sample counts and
+		// widest class widths, plus the widest unconverged stratum. Absent
+		// for uniform campaigns, whose scrape output is unchanged.
+		gauge("stratum_widest_width", c.WidestStratumWidth)
+		p("# TYPE %s_stratum_n gauge\n", prefix)
+		for _, name := range sortedStratumNames(c.ByStratum) {
+			n := int64(0)
+			if cis := c.ByStratum[name]; len(cis) > 0 {
+				n = cis[0].N
+			}
+			p("%s_stratum_n{stratum=%q} %d\n", prefix, name, n)
+		}
+		p("# TYPE %s_stratum_width gauge\n", prefix)
+		for _, name := range sortedStratumNames(c.ByStratum) {
+			widest := 0.0
+			for _, ci := range c.ByStratum[name] {
+				if ci.Width > widest {
+					widest = ci.Width
+				}
+			}
+			p("%s_stratum_width{stratum=%q} %g\n", prefix, name, widest)
+		}
+	}
 	return err
+}
+
+func sortedStratumNames(m map[string][]stats.ClassInterval) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func boolGauge(b bool) float64 {
@@ -123,4 +157,17 @@ type ConvergenceEvent struct {
 	Width        float64 `json:"width"`
 	TargetMargin float64 `json:"target_margin"`
 	Confidence   float64 `json:"confidence"`
+}
+
+// AllocationEvent is one allocation-epoch decision in a JSONL trace: how a
+// stratified campaign split the epoch's budget across its sampling strata.
+// The "allocation" key doubles as the event discriminator, like
+// ConvergenceEvent's "convergence". Emitted by the local stratified
+// executor and by the distributed coordinator at every epoch boundary
+// (including the bootstrap epoch 0).
+type AllocationEvent struct {
+	Kind   string               `json:"allocation"`
+	Epoch  int                  `json:"epoch"`
+	Budget int                  `json:"budget"`
+	Shares []stats.StratumShare `json:"shares"`
 }

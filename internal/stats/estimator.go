@@ -21,11 +21,41 @@ type Estimator struct {
 	counts  []atomic.Int64
 	byUnit  sync.Map // unit name -> *stratumRow
 	byType  sync.Map // latch-class name -> *stratumRow
+	byCross sync.Map // sample-plan stratum key ("unit/latch-class") -> *stratumRow
+	rows    atomic.Int64
+
+	// pops maps sample-plan stratum key -> census population; non-nil once
+	// TrackStrata armed stratified tracking.
+	pops map[string]int
+
+	// snapMu guards the reusable snapshot buffers below. The convergence
+	// monitor polls every 5 ms when early-stop is armed; rebuilding full
+	// maps per poll made the poll allocation-heavy, so each strata map gets
+	// a cached row list (rebuilt only when a stratum appears — the `rows`
+	// stamp) and per-row count buffers overwritten in place.
+	snapMu sync.Mutex
+	snaps  map[*sync.Map]*strataSnap
 }
 
 type stratumRow struct {
 	total  atomic.Int64
 	counts []atomic.Int64
+}
+
+// strataSnap is the reusable snapshot buffer for one strata map. The out
+// map and each row's counts map are overwritten on every poll, so the
+// value strataCounts returns is valid only until the next poll — callers
+// must consume it (fold it into ClassIntervals) before releasing snapMu.
+type strataSnap struct {
+	stamp int64
+	rows  []snapRow
+	out   map[string]StratumCounts
+}
+
+type snapRow struct {
+	name   string
+	row    *stratumRow
+	counts map[string]int64
 }
 
 // NewEstimator builds an estimator tracking the given classes (indexed by
@@ -35,11 +65,25 @@ func NewEstimator(classes []string, rule StopRule) *Estimator {
 		rule:    rule.normalized(),
 		classes: classes,
 		counts:  make([]atomic.Int64, len(classes)),
+		snaps:   make(map[*sync.Map]*strataSnap),
 	}
 }
 
 // Rule returns the (normalized) stopping rule the estimator evaluates.
 func (e *Estimator) Rule() StopRule { return e.rule }
+
+// TrackStrata arms stratified tracking: Observe additionally folds each
+// sample into its unit × latch-class cross stratum, Snapshot attaches the
+// ByStratum breakdown, and — when the rule's Strata gate is set — Converged
+// requires every stratum's margins too. populations maps stratum key
+// ("unit/latch-class") to census size so exhausted strata are final. Call
+// before the first Observe; nil-safe.
+func (e *Estimator) TrackStrata(populations map[string]int) {
+	if e == nil {
+		return
+	}
+	e.pops = populations
+}
 
 // Observe folds one classified injection: code is the outcome class index;
 // unit and latchType name the strata the sample belongs to (empty = skip
@@ -49,6 +93,24 @@ func (e *Estimator) Observe(code int, unit, latchType string) {
 	if e == nil {
 		return
 	}
+	stratum := ""
+	if e.pops != nil && unit != "" && latchType != "" {
+		stratum = unit + "/" + latchType
+	}
+	e.observeSample(code, unit, latchType, stratum)
+}
+
+// ObserveStratum is Observe for stratified campaign workers: stratum is the
+// sample's plan key ("unit/latch-class"), precomputed per batch so the hot
+// path does not rebuild it per sample.
+func (e *Estimator) ObserveStratum(code int, unit, latchType, stratum string) {
+	if e == nil {
+		return
+	}
+	e.observeSample(code, unit, latchType, stratum)
+}
+
+func (e *Estimator) observeSample(code int, unit, latchType, stratum string) {
 	e.total.Add(1)
 	if code >= 0 && code < len(e.counts) {
 		e.counts[code].Add(1)
@@ -59,13 +121,22 @@ func (e *Estimator) Observe(code int, unit, latchType string) {
 	if latchType != "" {
 		e.stratum(&e.byType, latchType).observe(code)
 	}
+	if stratum != "" {
+		e.stratum(&e.byCross, stratum).observe(code)
+	}
 }
 
 func (e *Estimator) stratum(m *sync.Map, name string) *stratumRow {
 	if row, ok := m.Load(name); ok {
 		return row.(*stratumRow)
 	}
-	row, _ := m.LoadOrStore(name, &stratumRow{counts: make([]atomic.Int64, len(e.classes))})
+	row, loaded := m.LoadOrStore(name, &stratumRow{counts: make([]atomic.Int64, len(e.classes))})
+	if !loaded {
+		// Bumped after the store so a snapshot never caches a stamp that
+		// already covers a row it has not seen; the new row is at worst one
+		// poll late.
+		e.rows.Add(1)
+	}
 	return row.(*stratumRow)
 }
 
@@ -85,9 +156,11 @@ func (e *Estimator) Total() int64 {
 }
 
 // Converged is the monitor's cheap poll: true once every tracked class's
-// interval is within the rule's margin (global classes only — strata are
-// informational). Counters are read individually; mid-injection skew of a
-// few samples only delays the verdict by one poll.
+// interval is within the rule's margin and — for stratified campaigns with
+// the rule's Strata gate armed — every sampling stratum has converged or
+// been exhausted. Counters are read individually; mid-injection skew of a
+// few samples only delays the verdict by one poll. Allocation-bounded: the
+// stratum pass reuses the snapshot buffers.
 func (e *Estimator) Converged() bool {
 	if e == nil || !e.rule.Enabled() {
 		return false
@@ -105,11 +178,22 @@ func (e *Estimator) Converged() bool {
 			return false
 		}
 	}
+	if e.rule.Strata && e.pops != nil {
+		e.snapMu.Lock()
+		defer e.snapMu.Unlock()
+		strata := e.strataCountsLocked(&e.byCross)
+		for name, pop := range e.pops {
+			if !e.rule.StratumConverged(e.classes, strata[name], pop) {
+				return false
+			}
+		}
+	}
 	return true
 }
 
 // Snapshot evaluates the rule over the counts observed so far. strata adds
-// the per-unit and per-type breakdowns. Nil-safe (returns nil).
+// the per-unit and per-type breakdowns; the sampling-stratum breakdown is
+// always attached once TrackStrata armed it. Nil-safe (returns nil).
 func (e *Estimator) Snapshot(strata bool) *Convergence {
 	if e == nil {
 		return nil
@@ -123,24 +207,86 @@ func (e *Estimator) Snapshot(strata bool) *Convergence {
 	}
 	c := e.rule.Eval(e.classes, counts, e.total.Load())
 	if strata {
-		c.AddStrata(e.rule, e.classes, e.strataCounts(&e.byUnit), e.strataCounts(&e.byType))
+		e.snapMu.Lock()
+		c.AddStrata(e.rule, e.classes, e.strataCountsLocked(&e.byUnit), e.strataCountsLocked(&e.byType))
+		e.snapMu.Unlock()
+	}
+	if e.pops != nil {
+		e.snapMu.Lock()
+		c.AddSampleStrata(e.rule, e.classes, e.strataCountsLocked(&e.byCross), e.pops)
+		e.snapMu.Unlock()
 	}
 	return c
 }
 
+// StrataStates returns the allocator's view of every sampling stratum in
+// plan key order given each stratum's census population and drawn count.
+// Strata the campaign has not sampled yet appear with zero counts. The
+// returned states are fresh copies safe to retain (they are journaled by
+// the distributed coordinator).
+func (e *Estimator) StrataStates(keys []string, populations map[string]int, drawn map[string]int) []StratumState {
+	out := make([]StratumState, 0, len(keys))
+	for _, key := range keys {
+		st := StratumState{Key: key, Population: populations[key], Drawn: drawn[key]}
+		if e != nil {
+			if row, ok := e.byCross.Load(key); ok {
+				r := row.(*stratumRow)
+				st.Total = r.total.Load()
+				st.Counts = make(map[string]int64, len(e.classes))
+				for i, class := range e.classes {
+					if class == "" {
+						continue
+					}
+					st.Counts[class] = r.counts[i].Load()
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
 func (e *Estimator) strataCounts(m *sync.Map) map[string]StratumCounts {
-	out := make(map[string]StratumCounts)
-	m.Range(func(key, value any) bool {
-		row := value.(*stratumRow)
-		counts := make(map[string]int64, len(e.classes))
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	return e.strataCountsLocked(m)
+}
+
+// strataCountsLocked snapshots one strata map into its reusable buffer.
+// The row list is rebuilt only when the rows stamp moved (a stratum
+// appeared somewhere — strata are few and fixed per campaign, so this is
+// rare); the steady-state poll just overwrites the cached count maps in
+// place and performs no allocation. Callers hold snapMu and must consume
+// the returned map before releasing it.
+func (e *Estimator) strataCountsLocked(m *sync.Map) map[string]StratumCounts {
+	if e.snaps == nil {
+		e.snaps = make(map[*sync.Map]*strataSnap)
+	}
+	snap := e.snaps[m]
+	if snap == nil {
+		snap = &strataSnap{stamp: -1, out: make(map[string]StratumCounts)}
+		e.snaps[m] = snap
+	}
+	if stamp := e.rows.Load(); stamp != snap.stamp {
+		snap.stamp = stamp
+		snap.rows = snap.rows[:0]
+		m.Range(func(key, value any) bool {
+			snap.rows = append(snap.rows, snapRow{
+				name:   key.(string),
+				row:    value.(*stratumRow),
+				counts: make(map[string]int64, len(e.classes)),
+			})
+			return true
+		})
+	}
+	for _, sr := range snap.rows {
 		for i, class := range e.classes {
 			if class == "" {
 				continue
 			}
-			counts[class] = row.counts[i].Load()
+			sr.counts[class] = sr.row.counts[i].Load()
 		}
-		out[key.(string)] = StratumCounts{Counts: counts, Total: row.total.Load()}
-		return true
-	})
-	return out
+		snap.out[sr.name] = StratumCounts{Counts: sr.counts, Total: sr.row.total.Load()}
+	}
+	return snap.out
 }

@@ -76,6 +76,14 @@ type StopRule struct {
 	// campaign, or a per-unit/per-type stratum) must have seen before its
 	// intervals may converge (default DefaultMinPerClass).
 	MinPerClass int `json:"min_per_class,omitempty"`
+
+	// Strata makes the per-stratum margins a stoppable target: a campaign
+	// running a stratified sample plan has converged only when every
+	// sampling stratum is itself converged or exhausted (StratumConverged),
+	// not just the global classes. Armed automatically by stratified
+	// allocation; zero (off) for uniform campaigns, so their wire formats
+	// and journal headers are unchanged.
+	Strata bool `json:"strata,omitempty"`
 }
 
 // Enabled reports whether the rule is active.
@@ -126,6 +134,15 @@ type Convergence struct {
 	// sample count and the MinPerClass floor applies per stratum.
 	ByUnit map[string][]ClassInterval `json:"by_unit,omitempty"`
 	ByType map[string][]ClassInterval `json:"by_type,omitempty"`
+
+	// ByStratum breaks the campaign down by sampling stratum (the unit ×
+	// latch-class crosses a stratified sample plan draws from), and
+	// WidestStratum/WidestStratumWidth name the widest still-unconverged
+	// stratum — what a stratified progress line shows. All empty for
+	// uniform campaigns, keeping their JSON byte-identical.
+	ByStratum          map[string][]ClassInterval `json:"by_stratum,omitempty"`
+	WidestStratum      string                     `json:"widest_stratum,omitempty"`
+	WidestStratumWidth float64                    `json:"widest_stratum_width,omitempty"`
 }
 
 // Intervals evaluates one population: for each class name (in order, empty
@@ -185,6 +202,72 @@ func (r StopRule) Eval(classes []string, counts map[string]int64, total int64) *
 func (c *Convergence) AddStrata(r StopRule, classes []string, byUnit, byType map[string]StratumCounts) {
 	c.ByUnit = strataIntervals(r, classes, byUnit)
 	c.ByType = strataIntervals(r, classes, byType)
+}
+
+// StratumConverged evaluates one sampling stratum as its own population:
+// converged once it is exhausted (Total ≥ population — a census has no
+// sampling error, whatever its interval widths) or once it has met the
+// MinPerClass floor (capped at the stratum's population, so tiny strata
+// are not unreachable) with every class interval within TargetMargin.
+// Allocation-free — safe on the convergence poll path.
+func (r StopRule) StratumConverged(classes []string, s StratumCounts, population int) bool {
+	r = r.normalized()
+	if population > 0 && s.Total >= int64(population) {
+		return true
+	}
+	floor := int64(r.MinPerClass)
+	if population > 0 && int64(population) < floor {
+		floor = int64(population)
+	}
+	if s.Total < floor {
+		return false
+	}
+	for _, class := range classes {
+		if class == "" {
+			continue
+		}
+		lo, hi := SequentialWilson(int(s.Counts[class]), int(s.Total), r.Confidence)
+		if hi-lo > r.TargetMargin {
+			return false
+		}
+	}
+	return true
+}
+
+// AddSampleStrata attaches the sampling-stratum breakdown of a stratified
+// campaign: per-stratum intervals under ByStratum, the widest unconverged
+// stratum for the progress line, and — when the rule's Strata gate is
+// armed — each stratum's verdict folded into Converged. populations maps
+// stratum key → census size so exhausted strata count as converged.
+func (c *Convergence) AddSampleStrata(r StopRule, classes []string, strata map[string]StratumCounts, populations map[string]int) {
+	if len(strata) == 0 {
+		return
+	}
+	r = r.normalized()
+	c.ByStratum = strataIntervals(r, classes, strata)
+	names := make([]string, 0, len(strata))
+	for name := range strata {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if r.StratumConverged(classes, strata[name], populations[name]) {
+			continue
+		}
+		if r.Strata {
+			c.Converged = false
+		}
+		widest := 0.0
+		for _, ci := range c.ByStratum[name] {
+			if ci.Width > widest {
+				widest = ci.Width
+			}
+		}
+		if widest > c.WidestStratumWidth {
+			c.WidestStratumWidth = widest
+			c.WidestStratum = name
+		}
+	}
 }
 
 // StratumCounts is one stratum's per-class counts and sample total.

@@ -106,6 +106,13 @@ type (
 	// Attribution is a campaign's critical-path latency decomposition.
 	Attribution = obs.Attribution
 
+	// AllocConfig selects how a campaign's injection budget is allocated
+	// across sampling strata (unit × latch-type): the zero value keeps the
+	// classic pooled uniform sample bit for bit; Mode AllocNeyman runs the
+	// campaign as allocation epochs, re-splitting each epoch's budget by
+	// Neyman allocation over the strata's observed outcome variance.
+	AllocConfig = core.AllocConfig
+
 	// StopConfig is a campaign's adaptive statistical stopping rule:
 	// sequential (any-time-valid) Wilson intervals per outcome class, with
 	// the campaign stopping once every class is inside the target margin.
@@ -147,6 +154,19 @@ const (
 
 // Backends lists the registered engine backend names.
 func Backends() []string { return engine.Backends() }
+
+// Budget allocation modes (CampaignConfig.Alloc.Mode).
+const (
+	// AllocUniform is the classic pooled uniform sample (the default).
+	AllocUniform = core.AllocUniform
+	// AllocNeyman allocates the budget across sampling strata by Neyman
+	// allocation, re-planned at epoch boundaries.
+	AllocNeyman = core.AllocNeyman
+)
+
+// DefaultAllocEpochs is the number of allocation epochs a stratified
+// campaign is split into when AllocConfig.Epochs is 0.
+const DefaultAllocEpochs = core.DefaultAllocEpochs
 
 // Latch types.
 const (
